@@ -1,0 +1,26 @@
+"""Ablation benchmark: auxiliary-head filter rules (Section 3, Opp. 1)."""
+
+from conftest import emit
+from repro.experiments import ablations
+
+
+def test_aux_rule_ablation(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_aux_rule_ablation, rounds=1, iterations=1
+    )
+    emit(result)
+
+    rows = {r[0]: (r[1], r[2]) for r in result.rows}
+    aan_acc, aan_mem = rows["aan"]
+    classic_acc, classic_mem = rows["classic"]
+    small_acc, small_mem = rows["uniform-small"]
+
+    # Shape: the three rules form the Section-3 trade-off ladder --
+    # classic costs the most memory, uniformly-small the least, adaptive
+    # sits between on memory while beating uniformly-small on accuracy.
+    assert classic_mem > aan_mem > small_mem
+    assert aan_acc > small_acc
+    # At this reduced scale the classic heads retain an accuracy edge
+    # (full-scale parity is the paper's claim; see EXPERIMENTS.md), but
+    # adaptive must stay within striking distance.
+    assert aan_acc > classic_acc - 0.25

@@ -1,0 +1,22 @@
+"""Ablation benchmark: activation cache and adaptive batching."""
+
+from conftest import emit
+from repro.experiments import ablations
+
+
+def test_mechanism_ablation(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_mechanism_ablation, rounds=1, iterations=1
+    )
+    emit(result)
+
+    hours = dict(zip(result.column("variant"), result.column("train_hours")))
+    full = hours["full NeuroFlux"]
+
+    # Shape: each mechanism contributes -- removing either slows training.
+    assert hours["no activation cache"] > full
+    assert hours["fixed global batch"] > full
+    # Shape: removing both is the slowest variant.
+    assert hours["neither"] >= max(
+        hours["no activation cache"], hours["fixed global batch"]
+    )

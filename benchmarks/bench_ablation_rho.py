@@ -1,0 +1,21 @@
+"""Ablation benchmark: the grouping threshold rho (Section 5.2 sweep)."""
+
+from conftest import emit
+from repro.experiments import ablations
+
+
+def test_rho_sweep(benchmark):
+    result = benchmark.pedantic(ablations.run_rho_sweep, rounds=1, iterations=1)
+    emit(result)
+
+    rhos = result.column("rho")
+    n_blocks = result.column("n_blocks")
+    hours = result.column("train_hours")
+
+    # Shape: larger rho merges more layers -> fewer blocks (monotone).
+    for a, b in zip(n_blocks, n_blocks[1:]):
+        assert b <= a
+    # The paper's default sits in the sweep and its time is within 25% of
+    # the sweep's best (40% was chosen as the best trade-off).
+    default = hours[rhos.index(0.4)]
+    assert default <= min(hours) * 1.25

@@ -1,0 +1,32 @@
+"""Figure 1 benchmark: BP memory breakdown + relative epoch time."""
+
+import numpy as np
+
+from conftest import emit
+from repro.experiments import fig01
+
+
+def test_fig01_memory_breakdown(benchmark):
+    result = benchmark.pedantic(fig01.run, rounds=1, iterations=1)
+    emit(result)
+
+    act = result.column("activations_MB")
+    model_mb = result.column("model_MB")
+    rel_time = result.column("rel_time_vs_b256")
+    batches = result.column("batch")
+
+    # Shape: at batch 256, activations dwarf model + optimizer memory.
+    for row_act, row_model, batch in zip(act, model_mb, batches):
+        if batch == 256:
+            assert row_act > 4 * row_model
+    # Shape: batch 4 is several times slower than batch 256 per epoch
+    # (paper: 5x for ResNet-18, 9x for VGG-19).
+    for rel, batch in zip(rel_time, batches):
+        if batch == 4:
+            assert 3.0 < rel < 25.0
+        if batch == 256:
+            assert np.isclose(rel, 1.0)
+    # Shape: training memory is a large multiple of inference memory.
+    for mult, batch in zip(result.column("mem_vs_inference"), batches):
+        if batch == 256:
+            assert mult > 5.0

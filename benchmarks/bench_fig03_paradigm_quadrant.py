@@ -1,0 +1,28 @@
+"""Figure 3 benchmark: memory-vs-accuracy quadrant for BP/LL/FA/SP."""
+
+from conftest import emit
+from repro.experiments import fig03
+
+
+def test_fig03_paradigm_quadrant(benchmark):
+    result = benchmark.pedantic(fig03.run, rounds=1, iterations=1)
+    emit(result)
+
+    rows = {row[0]: (row[1], row[2]) for row in result.rows}
+    bp_mem, bp_acc = rows["BP"]
+    ll_mem, ll_acc = rows["LL"]
+    fa_mem, fa_acc = rows["FA"]
+    sp_mem, sp_acc = rows["SP"]
+    nf_mem, nf_acc = rows["NeuroFlux"]
+
+    # Shape: BP and LL reach high accuracy; both beat chance comfortably.
+    assert bp_acc > 0.45 and ll_acc > 0.45
+    # Shape: SP is the most memory-frugal paradigm but trails on accuracy.
+    assert sp_mem < bp_mem and sp_mem < ll_mem
+    assert sp_acc < max(bp_acc, ll_acc)
+    # Shape: FA matches BP's memory (identical training loop).
+    assert abs(fa_mem - bp_mem) / bp_mem < 0.05
+    # Shape: NeuroFlux lands in the ideal quadrant -- memory far below
+    # BP/LL at comparable accuracy.
+    assert nf_mem < 0.7 * bp_mem
+    assert nf_acc > 0.45

@@ -1,0 +1,20 @@
+"""Figure 4 benchmark: VGG-19 memory for inference / AAN-LL / BP / classic LL."""
+
+from conftest import emit
+from repro.experiments import fig04
+
+
+def test_fig04_aan_memory_ordering(benchmark):
+    result = benchmark.pedantic(fig04.run, rounds=1, iterations=1)
+    emit(result)
+
+    for batch, inf, aan, bp, classic in result.rows:
+        # The paper's ordering at every batch size.
+        assert inf < aan < bp < classic, f"ordering broken at batch {batch}"
+    # Shape: AAN-LL's slope is far below classic LL's (the whole point of
+    # adaptive auxiliary networks).
+    aan_col = result.column("AAN_LL")
+    classic_col = result.column("classic_LL")
+    aan_slope = (aan_col[-1] - aan_col[0])
+    classic_slope = (classic_col[-1] - classic_col[0])
+    assert classic_slope > 2.5 * aan_slope

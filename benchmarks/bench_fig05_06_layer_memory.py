@@ -1,0 +1,31 @@
+"""Figures 5-6 benchmark: per-layer memory and max feasible batch."""
+
+import numpy as np
+
+from conftest import emit
+from repro.experiments import fig05_06
+
+
+def test_fig05_per_layer_memory(benchmark):
+    result = benchmark.pedantic(fig05_06.run_fig05, rounds=1, iterations=1)
+    emit(result)
+
+    used = result.column("used_MB")
+    # Shape: an initial layer is the memory bottleneck...
+    assert int(np.argmax(used)) <= 2
+    # ...and later layers leave most of the peak budget unused.
+    assert used[-1] < 0.5 * max(used)
+    unused = result.column("unused_MB")
+    assert min(unused) == 0.0  # the bottleneck layer uses the whole peak
+
+
+def test_fig06_max_batch_per_layer(benchmark):
+    result = benchmark.pedantic(fig05_06.run_fig06, rounds=1, iterations=1)
+    emit(result)
+
+    batches = result.column("max_batch")
+    # Shape: the bottleneck layer supports ~the reference batch; later
+    # layers support far larger batches (paper: up to the thousands).
+    assert min(batches) <= 60
+    assert max(batches) > 8 * min(batches)
+    assert batches.index(min(batches)) <= 2

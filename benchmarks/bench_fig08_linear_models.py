@@ -1,0 +1,16 @@
+"""Figure 8 benchmark: per-layer memory is linear in batch size."""
+
+from conftest import emit
+from repro.experiments import fig08
+
+
+def test_fig08_linear_memory_models(benchmark):
+    result = benchmark.pedantic(fig08.run, rounds=1, iterations=1)
+    emit(result)
+
+    # Shape: every layer's memory-vs-batch curve is (near-)perfectly linear,
+    # which is what justifies the Profiler's linear regression.
+    assert fig08.linearity_check(result) > 0.999
+    # Shape: early layers have the steepest slopes (largest activations).
+    slopes = result.column("slope_MB")
+    assert max(slopes[:3]) == max(slopes)

@@ -1,0 +1,28 @@
+"""Figure 10 benchmark: layer-wise validation accuracy and exit selection."""
+
+import numpy as np
+
+from conftest import emit
+from repro.experiments import fig10
+
+
+def test_fig10_layerwise_accuracy(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    emit(result)
+
+    accs = result.column("val_accuracy")
+    selected = result.column("is_selected_exit")
+    assert sum(selected) == 1
+    exit_idx = selected.index(True)
+
+    best = max(accs)
+    # Shape: the best exit beats chance comfortably (4 classes -> 0.25).
+    assert best > 0.45
+    # Shape: the selected exit is within tolerance of the best accuracy...
+    assert accs[exit_idx] >= best - 0.021
+    # ...and sits at or before the accuracy-saturation point, i.e. no
+    # strictly-better exit exists earlier (the 'overthinking' selection).
+    for i in range(exit_idx):
+        assert accs[i] < best - 0.02
+    # Shape: depth helps initially -- the best exit is not layer 1.
+    assert np.argmax(accs) > 0

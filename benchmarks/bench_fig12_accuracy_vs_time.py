@@ -1,0 +1,24 @@
+"""Figure 12 benchmark: accuracy vs training time at a fixed budget."""
+
+from conftest import emit
+from repro.experiments import fig12
+
+
+def test_fig12_accuracy_vs_time(benchmark):
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    emit(result)
+
+    bp = result.column("BP_acc")
+    ll = result.column("LL_acc")
+    nf = result.column("NF_acc")
+
+    # Shape: all methods end up well above chance (0.25 for 4 classes).
+    assert bp[-1] > 0.4 and ll[-1] > 0.4 and nf[-1] > 0.4
+    # Observation 3: for a given time budget, NeuroFlux's accuracy is at
+    # least as good as the baselines' through the early/mid training
+    # window (it reaches peak accuracy first).
+    early_half = range(len(nf) // 2)
+    assert all(nf[i] >= bp[i] for i in early_half)
+    assert all(nf[i] >= ll[i] for i in early_half)
+    # NeuroFlux finishes (reaches its final accuracy) no later than BP.
+    assert sum(a == nf[-1] for a in nf) >= sum(a == bp[-1] for a in bp)

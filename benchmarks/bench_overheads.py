@@ -1,0 +1,20 @@
+"""Section 6.4 benchmark: NeuroFlux system overheads."""
+
+from conftest import emit
+from repro.experiments import overheads
+
+
+def test_system_overheads(benchmark):
+    result = benchmark.pedantic(overheads.run, rounds=1, iterations=1)
+    emit(result)
+
+    # Shape: profiling + partitioning cost < 1.5% of training time.
+    for pct in result.column("profiling_pct_of_total"):
+        assert pct < 1.5
+    # Shape: the cache needs storage proportional to the dataset (paper:
+    # 1.5x-5.3x); single-block runs write nothing.
+    for blocks, ratio in zip(
+        result.column("blocks"), result.column("cache_vs_dataset")
+    ):
+        if blocks > 1:
+            assert 0.05 < ratio < 10.0

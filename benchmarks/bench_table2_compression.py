@@ -1,0 +1,24 @@
+"""Table 2 benchmark: output-model parameter counts and compression."""
+
+from conftest import emit
+from repro.experiments import table2
+
+
+def test_table2_compression(benchmark):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    emit(result)
+
+    full = dict(zip(result.column("model"), result.column("full_params_M")))
+    # Full-scale model sizes match the paper's Table 2.
+    assert abs(full["vgg16"] - 14.7) < 0.2
+    assert abs(full["vgg19"] - 20.0) < 0.2
+    assert abs(full["resnet18"] - 11.2) < 0.4
+
+    # Shape: strong compression on every model (paper: 10.9x-29.4x).
+    for model, comp, exit_m in zip(
+        result.column("model"),
+        result.column("compression"),
+        result.column("exit_params_M"),
+    ):
+        assert comp > 5.0, f"{model} compression only {comp:.1f}x"
+        assert exit_m < 3.0, f"{model} exit model too large: {exit_m:.2f}M"

@@ -1,0 +1,27 @@
+"""Table 3 / Figure 14 benchmark: inference throughput of output models."""
+
+from conftest import emit
+from repro.experiments import table3_fig14
+
+
+def test_table3_throughput(benchmark):
+    result = benchmark.pedantic(table3_fig14.run, rounds=1, iterations=1)
+    emit(result)
+
+    # Shape: the early-exit model beats the full model on every platform
+    # and model (paper: 1.61x-3.95x).
+    for platform, model, _exit, full_tp, exit_tp, speedup in result.rows:
+        assert speedup > 1.2, f"{model} on {platform}: gain {speedup:.2f}x"
+        assert exit_tp > full_tp
+
+    # Shape: faster platforms deliver higher absolute throughput.
+    by_platform = {}
+    for platform, model, _exit, full_tp, *_ in result.rows:
+        if model == "vgg16":
+            by_platform[platform] = full_tp
+    assert (
+        by_platform["Raspberry Pi 4B"]
+        < by_platform["Jetson Nano"]
+        < by_platform["Jetson Xavier NX"]
+        < by_platform["Jetson AGX Orin"]
+    )

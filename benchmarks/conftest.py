@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every benchmark times
+the experiment behind one paper figure/table, prints the reproduced
+rows/series, and asserts the paper's *shape* claims (who wins, rough
+factors, crossovers) -- absolute numbers come from the simulated platform
+models, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(result) -> None:
+    """Print an ExperimentResult table to the live console."""
+    print("\n" + result.table(), file=sys.stderr)

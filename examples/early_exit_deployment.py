@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Early-exit deployment: train with NeuroFlux, deploy the compact model.
+
+Shows the Table 2 / Table 3 workflow: NeuroFlux training produces a
+streamlined early-exit CNN; we compare its parameter count and simulated
+inference throughput against the full model on all four edge platforms,
+then save/restore the deployable checkpoint.
+
+    python examples/early_exit_deployment.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import NeuroFlux, NeuroFluxConfig, build_model, dataset_spec
+from repro.evalsim import convnet_throughput, exit_model_throughput, throughput_gain
+from repro.hw import ALL_PLATFORMS
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+MB = 2**20
+
+
+def main() -> None:
+    data = dataset_spec(
+        "cifar10", num_classes=4, image_hw=(16, 16), scale=0.01, noise_std=0.4, seed=7
+    ).materialize()
+    model = build_model(
+        "vgg16", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=0
+    )
+    system = NeuroFlux(
+        model, data, memory_budget=16 * MB, config=NeuroFluxConfig(batch_limit=64)
+    )
+    report = system.run(epochs=4)
+    exit_model = system.build_exit_model(report.exit_layer)
+
+    print(
+        f"selected exit: layer {report.exit_layer + 1} of "
+        f"{model.num_local_layers} "
+        f"(val acc {report.exit_val_accuracy:.3f}, "
+        f"test acc {report.exit_test_accuracy:.3f})"
+    )
+    print(
+        f"parameters: {exit_model.num_parameters() / 1e3:.0f}k vs "
+        f"{model.num_parameters() / 1e3:.0f}k full "
+        f"({report.compression_factor:.1f}x compression)\n"
+    )
+
+    header = f"{'platform':<20} {'full img/s':>12} {'exit img/s':>12} {'gain':>7}"
+    print(header)
+    print("-" * len(header))
+    for platform in ALL_PLATFORMS.values():
+        full_tp = convnet_throughput(model, platform, batch_size=64)
+        exit_tp = exit_model_throughput(exit_model, 3, (16, 16), platform, batch_size=64)
+        print(
+            f"{platform.name:<20} {full_tp.images_per_second:>12.0f} "
+            f"{exit_tp.images_per_second:>12.0f} "
+            f"{throughput_gain(full_tp, exit_tp):>6.2f}x"
+        )
+
+    # Ship the compact model: save, reload, verify predictions survive.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "exit_model.npz"
+        nbytes = save_checkpoint(exit_model, path)
+        before = exit_model.predict(data.x_test[:16])
+        fresh_system = NeuroFlux(
+            build_model(
+                "vgg16", num_classes=4, input_hw=(16, 16),
+                width_multiplier=0.125, seed=0,
+            ),
+            data,
+            memory_budget=16 * MB,
+            config=NeuroFluxConfig(batch_limit=64),
+        )
+        restored = fresh_system.build_exit_model(report.exit_layer)
+        load_checkpoint(restored, path)
+        after = restored.predict(data.x_test[:16])
+        assert (before == after).all(), "checkpoint round-trip changed predictions"
+        print(f"\ncheckpoint: {nbytes / 1024:.0f} KiB, round-trip verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Command-line interface: reproduce any paper experiment from the shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig04
+    python -m repro.cli fig11 --models vgg16 --datasets cifar10
+    python -m repro.cli table2
+    python -m repro.cli all          # everything (slow)
+
+Each command prints the reproduced figure/table as a plain-text table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    fig01,
+    fig03,
+    fig04,
+    fig05_06,
+    fig08,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    overheads,
+    table2,
+    table3_fig14,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def _fig11_runner(args: argparse.Namespace) -> list[ExperimentResult]:
+    kwargs = {}
+    if args.models:
+        kwargs["models"] = tuple(args.models)
+    if args.datasets:
+        kwargs["datasets"] = tuple(args.datasets)
+    return [fig11.run(**kwargs)]
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], list[ExperimentResult]]]] = {
+    "fig01": ("BP memory breakdown + relative time", lambda a: [fig01.run()]),
+    "fig03": ("training-paradigm quadrant", lambda a: [fig03.run()]),
+    "fig04": ("VGG-19 memory: inference/AAN-LL/BP/classic LL", lambda a: [fig04.run()]),
+    "fig05": ("per-layer AAN-LL memory", lambda a: [fig05_06.run_fig05()]),
+    "fig06": ("max feasible batch per layer", lambda a: [fig05_06.run_fig06()]),
+    "fig08": ("linear memory models", lambda a: [fig08.run()]),
+    "fig10": ("layer-wise accuracy / exit point", lambda a: [fig10.run()]),
+    "fig11": ("training time vs memory budget", _fig11_runner),
+    "fig12": ("accuracy vs training time", lambda a: [fig12.run()]),
+    "fig13": ("activation sizes + aux FLOPs", lambda a: [fig13.run()]),
+    "table2": ("output-model compression", lambda a: [table2.run()]),
+    "table3": ("inference throughput (and fig14 gains)", lambda a: [table3_fig14.run()]),
+    "overheads": ("Section 6.4 system overheads", lambda a: [overheads.run()]),
+    "ablation-rho": ("grouping-threshold sweep", lambda a: [ablations.run_rho_sweep()]),
+    "ablation-aux": ("aux-head rule ablation", lambda a: [ablations.run_aux_rule_ablation()]),
+    "ablation-mechanisms": (
+        "cache / adaptive-batch ablation",
+        lambda a: [ablations.run_mechanism_ablation()],
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Reproduce NeuroFlux (EuroSys '24) figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'list' / 'all'",
+    )
+    parser.add_argument(
+        "--models", nargs="*", default=None, help="model subset (fig11)"
+    )
+    parser.add_argument(
+        "--datasets", nargs="*", default=None, help="dataset subset (fig11)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for key, (desc, _) in EXPERIMENTS.items():
+            print(f"{key.ljust(width)}  {desc}")
+        return 0
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        _, runner = EXPERIMENTS[name]
+        for result in runner(args):
+            print(result.table())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""NeuroFlux configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partitioner import DEFAULT_GROUPING_THRESHOLD
+from repro.errors import ConfigError
+
+
+@dataclass
+class NeuroFluxConfig:
+    """Tunables of the NeuroFlux system (paper defaults).
+
+    The two ablation switches let the benchmarks isolate the paper's
+    contributions: ``adaptive_batch=False`` degrades AB-LL to a single
+    global batch size (pure AAN-LL), and ``use_cache=False`` disables
+    activation caching, re-running forward passes over trained blocks.
+    """
+
+    rho: float = DEFAULT_GROUPING_THRESHOLD
+    batch_limit: int = 256
+    optimizer: str = "sgd-momentum"
+    lr: float = 0.05
+    aux_rule: str = "aan"
+    classic_filters: int = 256
+    aux_pool_to: int = 2
+    sample_batches: tuple[int, ...] = (8, 16, 32, 64)
+    exit_tolerance: float = 0.02
+    backward_multiplier: float = 2.0
+    cache_dir: str | None = None
+    use_cache: bool = True
+    adaptive_batch: bool = True
+    eval_subset: int = 512
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_limit < 1:
+            raise ConfigError("batch_limit must be >= 1")
+        if self.rho < 0:
+            raise ConfigError("rho must be non-negative")
+        if self.exit_tolerance < 0:
+            raise ConfigError("exit_tolerance must be non-negative")
+        if self.eval_subset < 1:
+            raise ConfigError("eval_subset must be >= 1")

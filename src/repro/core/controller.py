@@ -1,0 +1,353 @@
+"""NeuroFlux Controller: end-to-end orchestration (Figure 7).
+
+Wires the modules together: build auxiliary heads (AAN rule), profile
+per-layer memory, partition into blocks with per-block batch sizes
+(Algorithm 1), then train block after block (Algorithm 2) with only the
+active block resident in simulated GPU memory, caching the final
+activations of each block to storage so trained blocks never run forward
+again.  Finishes by selecting the best early-exit model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.auxiliary import build_aux_heads
+from repro.core.cache import ActivationStore
+from repro.core.config import NeuroFluxConfig
+from repro.core.early_exit import (
+    EarlyExitModel,
+    ExitCandidate,
+    exit_model_parameters,
+    select_exit,
+)
+from repro.core.partitioner import Block, partition, validate_partition
+from repro.core.prefetcher import rebatch
+from repro.core.profiler import MemoryProfiler, measure_unit_memory
+from repro.core.report import BlockReport, NeuroFluxReport
+from repro.core.worker import BlockWorker
+from repro.data.datasets import SyntheticImageDataset
+from repro.data.loader import DataLoader
+from repro.errors import ConfigError
+from repro.hw.platforms import AGX_ORIN, Platform
+from repro.hw.simulator import ExecutionSimulator
+from repro.memory.tracker import SimulatedGpu
+from repro.models.base import ConvNet
+from repro.nn import make_optimizer
+from repro.training.common import HistoryPoint, TrainResult, evaluate_classifier
+from repro.utils.rng import spawn_rng
+
+
+class NeuroFlux:
+    """The NeuroFlux training system (paper Section 4, Figure 7).
+
+    Inputs mirror the paper's step 0: an untrained CNN, a training set, a
+    GPU memory budget and a batch-size limit (the latter via ``config``).
+    """
+
+    def __init__(
+        self,
+        model: ConvNet,
+        data: SyntheticImageDataset,
+        memory_budget: int,
+        platform: Platform = AGX_ORIN,
+        config: NeuroFluxConfig | None = None,
+    ):
+        if memory_budget <= 0:
+            raise ConfigError("memory budget must be positive")
+        self.model = model
+        self.data = data
+        self.memory_budget = int(memory_budget)
+        self.platform = platform
+        self.config = config if config is not None else NeuroFluxConfig()
+        self.aux_heads = build_aux_heads(
+            model,
+            rule=self.config.aux_rule,
+            classic_filters=self.config.classic_filters,
+            seed=self.config.seed,
+            pool_to=self.config.aux_pool_to,
+        )
+        self.specs = model.local_layers()
+
+    # -- planning (steps 1-2) ----------------------------------------------
+    def plan(self) -> tuple[list[Block], float]:
+        """Profile and partition; returns blocks and profiling FLOPs."""
+        profiler = MemoryProfiler(
+            self.specs,
+            list(self.aux_heads),
+            optimizer=self.config.optimizer,
+            sample_batches=self.config.sample_batches,
+            backward_multiplier=self.config.backward_multiplier,
+        )
+        profile = profiler.profile()
+        blocks = partition(
+            profile.models,
+            self.memory_budget,
+            self.config.batch_limit,
+            rho=self.config.rho,
+        )
+        validate_partition(blocks, len(self.specs))
+        if not self.config.adaptive_batch:
+            # Ablation: a single global batch (what AAN-LL alone would use).
+            global_batch = min(b.batch_size for b in blocks)
+            for b in blocks:
+                b.batch_size = global_batch
+        return blocks, profile.profiling_flops
+
+    # -- private helpers -----------------------------------------------------
+    def _block_input_batches(
+        self,
+        block: Block,
+        store: ActivationStore,
+        sim: ExecutionSimulator,
+        epoch_rng: np.random.Generator,
+    ):
+        """Iterator over this block's training inputs at its batch size."""
+        if block.index == 0:
+            loader = DataLoader(
+                self.data.x_train,
+                self.data.y_train,
+                block.batch_size,
+                shuffle=True,
+                rng=epoch_rng,
+            )
+            yield from loader
+        elif self.config.use_cache:
+            def charged():
+                for x, y in store.batches(block.index - 1):
+                    sim.add_cache_read(x.nbytes + y.nbytes, n_files=1)
+                    yield x, y
+
+            yield from rebatch(charged(), block.batch_size)
+        else:
+            # Ablation: no cache -- re-run forward passes over every
+            # already-trained block for each batch (the redundancy the
+            # paper's caching eliminates).
+            prior_specs = [
+                s for s in self.specs if s.index < block.first_layer
+            ]
+            prior_flops = 0
+            for s in prior_specs:
+                from repro.flops.count import module_forward_flops
+
+                f, _ = module_forward_flops(s.module, (1, s.in_channels, *s.in_hw))
+                prior_flops += f
+            loader = DataLoader(
+                self.data.x_train,
+                self.data.y_train,
+                block.batch_size,
+                shuffle=True,
+                rng=epoch_rng,
+            )
+            for x, y in loader:
+                for s in prior_specs:
+                    s.module.eval()
+                    x = s.module.forward(x)
+                sim.add_inference_batch(
+                    prior_flops * len(x), self.data.spec.sample_bytes * len(x), len(prior_specs)
+                )
+                yield x, y
+
+    def _block_residency_bytes(self, block: Block) -> int:
+        """Peak working set of training this block (worst member layer)."""
+        return max(
+            measure_unit_memory(
+                self.specs[i], self.aux_heads[i], block.batch_size, self.config.optimizer
+            )
+            for i in block.layer_indices
+        )
+
+    def _exit_accuracy(
+        self, feats: np.ndarray, y: np.ndarray, layer_index: int
+    ) -> float:
+        aux = self.aux_heads[layer_index]
+        aux.eval()
+        acc = evaluate_classifier(aux.forward, feats, y)
+        aux.train()
+        return acc
+
+    # -- the whole pipeline (steps 0-4) ---------------------------------------
+    def run(self, epochs: int, time_budget_s: float | None = None) -> NeuroFluxReport:
+        if epochs < 1:
+            raise ConfigError("epochs must be >= 1")
+        cfg = self.config
+        sim = ExecutionSimulator(self.platform)
+        gpu = SimulatedGpu(budget_bytes=self.memory_budget)
+        store = ActivationStore(cfg.cache_dir)
+
+        blocks, profiling_flops = self.plan()
+        profiling_time = sim.add_profiling(
+            profiling_flops / self.platform.effective_flops
+            + len(self.specs) * self.platform.kernel_launch_overhead
+        )
+
+        result = TrainResult(
+            method="neuroflux",
+            model_name=self.model.name,
+            dataset_name=self.data.spec.name,
+            platform_name=self.platform.name,
+            epochs=epochs,
+            batch_size=max(b.batch_size for b in blocks),
+            num_parameters=self.model.num_parameters(),
+        )
+        report = NeuroFluxReport(
+            result=result,
+            blocks=blocks,
+            full_model_params=self.model.num_parameters(),
+            dataset_bytes=self.data.spec.train_bytes,
+        )
+
+        n_eval = min(cfg.eval_subset, len(self.data.x_val))
+        val_feats_sub = self.data.x_val[:n_eval]
+        val_y_sub = self.data.y_val[:n_eval]
+        best_acc_so_far = 0.0
+        sample_bytes = self.data.spec.sample_bytes
+
+        try:
+            for block in blocks:
+                # §3.1: load the block into GPU memory, others to storage.
+                block_specs = [self.specs[i] for i in block.layer_indices]
+                block_aux = [self.aux_heads[i] for i in block.layer_indices]
+                block_param_bytes = sum(
+                    s.module.parameter_bytes() for s in block_specs
+                ) + sum(a.parameter_bytes() for a in block_aux)
+                sim.ledger.overhead += sim.storage_time(block_param_bytes, n_ops=1)
+                residency = self._block_residency_bytes(block)
+                handle = gpu.alloc(residency, f"block{block.index}")
+
+                optimizers = [
+                    make_optimizer(
+                        cfg.optimizer,
+                        self.specs[i].module.parameters()
+                        + self.aux_heads[i].parameters(),
+                        lr=cfg.lr,
+                    )
+                    for i in block.layer_indices
+                ]
+                worker = BlockWorker(
+                    block_specs,
+                    block_aux,
+                    optimizers,
+                    sim,
+                    sample_bytes=sample_bytes,
+                    backward_multiplier=cfg.backward_multiplier,
+                )
+
+                block_t0 = sim.elapsed
+                mean_loss = float("nan")
+                stop = False
+                for epoch in range(epochs):
+                    epoch_rng = spawn_rng(cfg.seed, f"nf/block{block.index}/epoch{epoch}")
+                    batches = self._block_input_batches(block, store, sim, epoch_rng)
+                    if cfg.use_cache and block.index > 0:
+                        input_mode = "prefetch-cache"
+                    else:
+                        input_mode = "prefetch-raw"
+                    _, n_samples, mean_loss = worker.train_pass(
+                        batches,
+                        time_budget_s=time_budget_s,
+                        input_mode=input_mode,
+                    )
+                    # History: best exit accuracy among the layers trained
+                    # so far, evaluated on a capped validation subset.
+                    feats = val_feats_sub
+                    for spec in block_specs:
+                        spec.module.eval()
+                        feats = spec.module.forward(feats)
+                        spec.module.train()
+                        acc = self._exit_accuracy(feats, val_y_sub, spec.index)
+                        best_acc_so_far = max(best_acc_so_far, acc)
+                    result.history.append(
+                        HistoryPoint(
+                            sim.elapsed,
+                            epoch + 1,
+                            best_acc_so_far,
+                            mean_loss,
+                            "val",
+                        )
+                    )
+                    if time_budget_s is not None and sim.elapsed >= time_budget_s:
+                        stop = True
+                        break
+
+                # §3.3: cache the trained block's outputs for the next block.
+                is_last = block.index == len(blocks) - 1
+                cache_bytes_before = store.bytes_written
+                if cfg.use_cache and not is_last and not stop:
+                    def save(x: np.ndarray, y: np.ndarray) -> None:
+                        nbytes = store.write(block.index, x, y)
+                        sim.add_cache_write(nbytes, n_files=1)
+
+                    epoch_rng = spawn_rng(cfg.seed, f"nf/block{block.index}/cachepass")
+                    worker.forward_pass(
+                        self._block_input_batches(block, store, sim, epoch_rng),
+                        save,
+                    )
+                if block.index > 0 and cfg.use_cache:
+                    store.clear_block(block.index - 1)
+
+                # Advance the (cheap, uncharged) evaluation feature cache so
+                # later history points only forward the remaining blocks.
+                for spec in block_specs:
+                    spec.module.eval()
+                    val_feats_sub = spec.module.forward(val_feats_sub)
+                    spec.module.train()
+                gpu.free(handle)
+
+                report.block_reports.append(
+                    BlockReport(
+                        index=block.index,
+                        layer_indices=list(block.layer_indices),
+                        batch_size=block.batch_size,
+                        sim_time_s=sim.elapsed - block_t0,
+                        cache_bytes=store.bytes_written - cache_bytes_before,
+                        mean_loss=mean_loss,
+                    )
+                )
+                if stop:
+                    break
+
+            # §4: evaluate every layer as an exit point on the full val set
+            # and select the output model.
+            feats = self.data.x_val
+            candidates = []
+            accuracies = []
+            for spec, aux in zip(self.specs, self.aux_heads):
+                spec.module.eval()
+                feats = spec.module.forward(feats)
+                acc = self._exit_accuracy(feats, self.data.y_val, spec.index)
+                accuracies.append(acc)
+                stages = [s.module for s in self.specs[: spec.index + 1]]
+                candidates.append(
+                    ExitCandidate(
+                        layer_index=spec.index,
+                        val_accuracy=acc,
+                        num_parameters=exit_model_parameters(stages, aux),
+                    )
+                )
+            report.layer_val_accuracies = accuracies
+            chosen = select_exit(candidates, tolerance=cfg.exit_tolerance)
+            report.exit_layer = chosen.layer_index
+            report.exit_params = chosen.num_parameters
+            report.exit_val_accuracy = chosen.val_accuracy
+
+            exit_model = self.build_exit_model(chosen.layer_index)
+            report.exit_test_accuracy = evaluate_classifier(
+                exit_model.forward, self.data.x_test, self.data.y_test
+            )
+            result.final_accuracy = report.exit_test_accuracy
+            result.sim_time_s = sim.elapsed
+            result.ledger = sim.ledger
+            result.peak_memory_bytes = gpu.peak
+            report.cache_bytes_written = store.bytes_written
+            report.profiling_time_s = profiling_time
+        finally:
+            store.close()
+        return report
+
+    def build_exit_model(self, exit_layer: int) -> EarlyExitModel:
+        """Assemble the deployable early-exit model for a given layer."""
+        stages = [s.module for s in self.specs[: exit_layer + 1]]
+        return EarlyExitModel(
+            stages, self.aux_heads[exit_layer], exit_layer, name=f"{self.model.name}-exit{exit_layer + 1}"
+        )

@@ -1,0 +1,107 @@
+"""Convergence instrumentation for adaptive local learning (Appendix B).
+
+The paper's analysis rests on the *drift* of each layer's input
+distribution (Equation 11): layer ``n > 1`` trains on a time-varying input
+distribution because its predecessor keeps updating, and convergence needs
+the cumulative drift to be finite (Assumption 4).  This module measures
+drift empirically (histogram L1 distance between consecutive epochs'
+feature distributions) and evaluates the Robbins-Monro style bound of
+Equation 19, so tests can check that blockwise training behaves as the
+analysis assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def distribution_drift(
+    prev: np.ndarray, cur: np.ndarray, bins: int = 32, value_range: tuple[float, float] | None = None
+) -> float:
+    """Empirical L1 distance between two activation distributions.
+
+    Approximates Equation 11's integral with normalized histograms over a
+    shared range.  Returns a value in [0, 2].
+    """
+    if bins < 2:
+        raise ConfigError("need at least two histogram bins")
+    prev_flat = np.asarray(prev, dtype=np.float64).ravel()
+    cur_flat = np.asarray(cur, dtype=np.float64).ravel()
+    if value_range is None:
+        lo = min(prev_flat.min(), cur_flat.min())
+        hi = max(prev_flat.max(), cur_flat.max())
+        if lo == hi:
+            return 0.0
+        value_range = (float(lo), float(hi))
+    hp, _ = np.histogram(prev_flat, bins=bins, range=value_range, density=False)
+    hc, _ = np.histogram(cur_flat, bins=bins, range=value_range, density=False)
+    hp = hp / max(hp.sum(), 1)
+    hc = hc / max(hc.sum(), 1)
+    return float(np.abs(hp - hc).sum())
+
+
+def robbins_monro_satisfied(lrs: list[float], horizon_check: int = 3) -> bool:
+    """Heuristic check of Assumption 2 on a finite schedule.
+
+    A schedule is accepted if it is non-increasing and its tail decays
+    (sum of squares over the last ``horizon_check`` entries strictly below
+    the same count of the head) -- exact infinite-sum conditions are not
+    checkable on finite prefixes.
+    """
+    if not lrs:
+        return False
+    arr = np.asarray(lrs, dtype=np.float64)
+    if (np.diff(arr) > 1e-12).any():
+        return False
+    k = min(horizon_check, len(arr))
+    return bool(arr[-k:].sum() <= arr[:k].sum() + 1e-12)
+
+
+def convergence_bound_rhs(
+    initial_loss: float,
+    lrs: list[float],
+    drifts: list[float],
+    grad_bound: float,
+    smoothness: float,
+) -> float:
+    """Right-hand side of Equation 19.
+
+    ``E[L(Psi_0)] + G * sum_t eta_t (sqrt(2 s_t) + L eta_t / 2)`` -- an
+    upper bound on the weighted sum of squared gradient norms; finite
+    whenever the drift sum is finite.
+    """
+    if len(lrs) != len(drifts):
+        raise ConfigError(f"schedule/drift length mismatch: {len(lrs)} vs {len(drifts)}")
+    lrs_arr = np.asarray(lrs, dtype=np.float64)
+    drift_arr = np.asarray(drifts, dtype=np.float64)
+    penalty = (lrs_arr * (np.sqrt(2 * drift_arr) + smoothness * lrs_arr / 2)).sum()
+    return float(initial_loss + grad_bound * penalty)
+
+
+@dataclass
+class ConvergenceMonitor:
+    """Tracks per-epoch losses and inter-epoch feature drift for one layer."""
+
+    bins: int = 32
+    losses: list[float] = field(default_factory=list)
+    drifts: list[float] = field(default_factory=list)
+    _prev_feats: np.ndarray | None = field(default=None, repr=False)
+
+    def observe(self, features: np.ndarray, loss: float) -> None:
+        """Record one epoch's output features and training loss."""
+        if self._prev_feats is not None:
+            self.drifts.append(distribution_drift(self._prev_feats, features, self.bins))
+        self._prev_feats = np.asarray(features).copy()
+        self.losses.append(float(loss))
+
+    @property
+    def cumulative_drift(self) -> float:
+        return float(np.sum(self.drifts)) if self.drifts else 0.0
+
+    def loss_decreased(self) -> bool:
+        """Whether training loss improved from first to last epoch."""
+        return len(self.losses) >= 2 and self.losses[-1] < self.losses[0]

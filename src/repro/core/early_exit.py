@@ -1,0 +1,78 @@
+"""Early-exit output model selection (architecture step 4, Section 5.4).
+
+After training, every layer's auxiliary head is a prospective exit point.
+NeuroFlux picks the exit with the highest validation accuracy while
+maintaining the smallest parameter count: among exits within ``tolerance``
+of the best accuracy (accuracy saturates with depth -- 'overthinking'),
+the shallowest/cheapest one wins.  The resulting model is the streamlined
+CNN the paper reports in Table 2 (10.9x-29.4x fewer parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class ExitCandidate:
+    """One prospective exit: a layer index with its accuracy and size."""
+
+    layer_index: int
+    val_accuracy: float
+    num_parameters: int
+
+
+def select_exit(
+    candidates: list[ExitCandidate], tolerance: float = 0.02
+) -> ExitCandidate:
+    """Best-accuracy exit, tie-broken toward the fewest parameters.
+
+    ``tolerance`` is the accuracy slack within which a smaller exit is
+    preferred over the absolute best (paper: accuracy 'remains consistent
+    or decreases only trivially' past the saturation layer).
+    """
+    if not candidates:
+        raise ConfigError("no exit candidates")
+    if tolerance < 0:
+        raise ConfigError("tolerance must be non-negative")
+    best_acc = max(c.val_accuracy for c in candidates)
+    feasible = [c for c in candidates if c.val_accuracy >= best_acc - tolerance]
+    return min(feasible, key=lambda c: (c.num_parameters, c.layer_index))
+
+
+class EarlyExitModel(Module):
+    """Deployable model: stages up to the exit layer plus its aux head."""
+
+    def __init__(self, stages: list[Module], aux_head: Module, exit_layer: int, name: str):
+        super().__init__()
+        if not stages:
+            raise ConfigError("an exit model needs at least one stage")
+        self.stages = list(stages)
+        self.aux_head = aux_head
+        self.exit_layer = exit_layer
+        self.name = name
+        self.eval()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for stage in self.stages:
+            x = stage.forward(x)
+        return self.aux_head.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.aux_head.backward(grad_out)
+        for stage in reversed(self.stages):
+            grad = stage.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(x), axis=1)
+
+
+def exit_model_parameters(stages: list[Module], aux_head: Module) -> int:
+    """Parameter count of an early-exit deployment (stages + exit head)."""
+    return sum(s.num_parameters() for s in stages) + aux_head.num_parameters()

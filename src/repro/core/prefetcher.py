@@ -1,0 +1,54 @@
+"""AB-LL prefetcher (architecture step 3.2).
+
+As cached activations stream in from storage, the prefetcher re-chunks
+them on the fly so each block trains at the batch size the Partitioner
+assigned to *it*, independent of the batch size the previous block used.
+This is the mechanism behind Adaptive Batch local learning: later, cheaper
+blocks consume larger batches than the memory-bound early blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+
+def rebatch(
+    batches: Iterable[tuple[np.ndarray, np.ndarray]],
+    batch_size: int,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Re-chunk a stream of (x, y) batches to a new batch size.
+
+    Every sample is yielded exactly once, in stream order.  All yielded
+    batches have exactly ``batch_size`` samples except possibly the final
+    one (dropped when ``drop_last``).
+    """
+    if batch_size < 1:
+        raise ConfigError("batch_size must be >= 1")
+    x_buf: list[np.ndarray] = []
+    y_buf: list[np.ndarray] = []
+    buffered = 0
+    for x, y in batches:
+        if len(x) != len(y):
+            raise ShapeError(f"x/y length mismatch in stream: {len(x)} vs {len(y)}")
+        if len(x) == 0:
+            continue
+        x_buf.append(x)
+        y_buf.append(y)
+        buffered += len(x)
+        while buffered >= batch_size:
+            xs = np.concatenate(x_buf, axis=0) if len(x_buf) > 1 else x_buf[0]
+            ys = np.concatenate(y_buf, axis=0) if len(y_buf) > 1 else y_buf[0]
+            yield xs[:batch_size], ys[:batch_size]
+            rest_x, rest_y = xs[batch_size:], ys[batch_size:]
+            x_buf = [rest_x] if len(rest_x) else []
+            y_buf = [rest_y] if len(rest_y) else []
+            buffered = len(rest_x)
+    if buffered and not drop_last:
+        xs = np.concatenate(x_buf, axis=0) if len(x_buf) > 1 else x_buf[0]
+        ys = np.concatenate(y_buf, axis=0) if len(y_buf) > 1 else y_buf[0]
+        yield xs, ys

@@ -1,0 +1,184 @@
+"""NeuroFlux Profiler (architecture step 1).
+
+Assigns auxiliary networks to every layer (AAN-LL rule), then *measures*
+the simulated-GPU memory of training each layer+aux unit at several batch
+sizes and fits a per-layer linear model ``memory = slope * batch +
+intercept`` by least squares.  The paper observes (Figure 8) that layer
+training memory is linear in the batch size, which makes these models
+usable for feasible-batch prediction by the Partitioner.
+
+The measurement goes through the :class:`SimulatedGpu` allocator, one
+allocation per logical tensor, so the fitted models see the same alignment
+quantization a real profiler would -- they are not handed the analytic
+ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProfilingError
+from repro.flops.count import module_forward_flops, training_step_flops
+from repro.memory.estimator import (
+    iter_atomic_ops,
+    module_sum_workspace_bytes,
+    optimizer_state_bytes,
+    retained_bytes,
+)
+from repro.memory.tracker import SimulatedGpu, measure_peak
+from repro.models.layers import LayerSpec
+from repro.nn.module import Module
+
+FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class LinearMemoryModel:
+    """Per-layer linear predictor of training memory vs batch size."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, batch_size: int) -> float:
+        return self.slope * batch_size + self.intercept
+
+    def max_batch(self, budget_bytes: int) -> int:
+        """Largest batch whose predicted memory fits the budget (>= 0)."""
+        if self.slope <= 0:
+            raise ProfilingError(f"non-positive slope {self.slope}")
+        return max(0, int((budget_bytes - self.intercept) // self.slope))
+
+
+def unit_allocation_plan(
+    spec: LayerSpec,
+    aux_head: Module | None,
+    batch_size: int,
+    optimizer: str = "sgd-momentum",
+) -> list[tuple[str, int]]:
+    """The tensor-by-tensor allocation sequence of one unit training step.
+
+    This is what the Profiler 'runs': parameters, gradients, optimizer
+    state, the input batch, every retained tensor and every op output of
+    the layer and its auxiliary head.
+    """
+    plan: list[tuple[str, int]] = []
+    params = spec.module.parameter_bytes()
+    if aux_head is not None:
+        params += aux_head.parameter_bytes()
+    plan.append(("params", params))
+    plan.append(("grads", params))
+    plan.append(("optimizer", optimizer_state_bytes(params, optimizer)))
+    in_shape = (batch_size, spec.in_channels, *spec.in_hw)
+    plan.append(("input", int(np.prod(in_shape)) * FLOAT_BYTES))
+    shape = in_shape
+    for op, i_shape, o_shape in iter_atomic_ops(spec.module, in_shape):
+        plan.append((f"retained/{type(op).__name__}", retained_bytes(op, i_shape, o_shape)))
+        shape = o_shape
+    plan.append(("layer-output", int(np.prod(shape)) * FLOAT_BYTES))
+    workspace = module_sum_workspace_bytes(spec.module, in_shape)
+    if aux_head is not None:
+        aux_shape = shape
+        for op, i_shape, o_shape in iter_atomic_ops(aux_head, aux_shape):
+            plan.append(
+                (f"aux-retained/{type(op).__name__}", retained_bytes(op, i_shape, o_shape))
+            )
+            aux_shape = o_shape
+        plan.append(("aux-output", int(np.prod(aux_shape)) * FLOAT_BYTES))
+        workspace += module_sum_workspace_bytes(aux_head, shape)
+    plan.append(("conv-workspace", workspace))
+    return plan
+
+
+def measure_unit_memory(
+    spec: LayerSpec,
+    aux_head: Module | None,
+    batch_size: int,
+    optimizer: str = "sgd-momentum",
+    gpu: SimulatedGpu | None = None,
+) -> int:
+    """Simulated peak memory of one training step of a unit."""
+    gpu = gpu if gpu is not None else SimulatedGpu()
+    gpu.reset_peak()
+    plan = unit_allocation_plan(spec, aux_head, batch_size, optimizer)
+    return measure_peak(plan, gpu)
+
+
+@dataclass
+class ProfileResult:
+    """Output of the Profiler: one linear model per layer, plus overheads."""
+
+    models: list[LinearMemoryModel]
+    sample_batches: tuple[int, ...]
+    profiling_flops: int
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+
+class MemoryProfiler:
+    """Fits layer-wise linear memory models from simulated measurements."""
+
+    def __init__(
+        self,
+        layer_specs: list[LayerSpec],
+        aux_heads: list[Module | None],
+        optimizer: str = "sgd-momentum",
+        sample_batches: tuple[int, ...] = (8, 16, 32, 64),
+        backward_multiplier: float = 2.0,
+    ):
+        if len(layer_specs) != len(aux_heads):
+            raise ProfilingError(
+                f"one aux entry per layer required: {len(aux_heads)} vs "
+                f"{len(layer_specs)}"
+            )
+        if len(sample_batches) < 2:
+            raise ProfilingError("need at least two sample batch sizes to fit a line")
+        self.layer_specs = layer_specs
+        self.aux_heads = aux_heads
+        self.optimizer = optimizer
+        self.sample_batches = tuple(sorted(set(int(b) for b in sample_batches)))
+        self.backward_multiplier = backward_multiplier
+
+    def _fit(self, batches: np.ndarray, peaks: np.ndarray) -> LinearMemoryModel:
+        slope, intercept = np.polyfit(batches, peaks, deg=1)
+        predicted = slope * batches + intercept
+        ss_res = float(((peaks - predicted) ** 2).sum())
+        ss_tot = float(((peaks - peaks.mean()) ** 2).sum())
+        r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+        if slope <= 0:
+            raise ProfilingError(
+                f"fitted non-positive slope {slope:.1f}; memory must grow with batch"
+            )
+        return LinearMemoryModel(float(slope), float(intercept), r2)
+
+    def profile(self) -> ProfileResult:
+        """Measure every layer at every sample batch size and fit lines.
+
+        Also returns the FLOPs spent profiling (one training step per
+        layer per sample batch), which the controller converts to time for
+        the Section 6.4 overhead accounting.
+        """
+        gpu = SimulatedGpu()
+        models = []
+        profiling_flops = 0
+        batches = np.asarray(self.sample_batches, dtype=np.float64)
+        for spec, aux in zip(self.layer_specs, self.aux_heads):
+            peaks = []
+            for b in self.sample_batches:
+                peaks.append(measure_unit_memory(spec, aux, b, self.optimizer, gpu))
+                in_shape = (b, spec.in_channels, *spec.in_hw)
+                fwd, out_shape = module_forward_flops(spec.module, in_shape)
+                step = training_step_flops(fwd, self.backward_multiplier)
+                if aux is not None:
+                    aux_fwd, _ = module_forward_flops(aux, out_shape)
+                    step += training_step_flops(aux_fwd, self.backward_multiplier)
+                profiling_flops += step
+            models.append(self._fit(batches, np.asarray(peaks, dtype=np.float64)))
+        return ProfileResult(
+            models=models,
+            sample_batches=self.sample_batches,
+            profiling_flops=profiling_flops,
+        )

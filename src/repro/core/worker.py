@@ -1,0 +1,153 @@
+"""NeuroFlux Worker: block-wise local learning, Algorithm 2.
+
+The Worker owns one block at a time: it runs each training batch through
+the block's layers, computing a local loss at every layer's auxiliary head
+and updating that layer (plus head) immediately -- no feedback to earlier
+layers, no retention of other layers' activations.  The execution
+simulator is charged per optimizer step, and a forward-only pass produces
+the activations cached for the next block.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.flops.count import module_forward_flops, training_step_flops
+from repro.hw.simulator import ExecutionSimulator
+from repro.models.layers import LayerSpec
+from repro.nn import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.training.common import count_module_kernels
+
+
+class BlockWorker:
+    """Trains the layers of one block with per-layer local losses."""
+
+    def __init__(
+        self,
+        layer_specs: list[LayerSpec],
+        aux_heads: list[Module],
+        optimizers: list[Optimizer],
+        sim: ExecutionSimulator,
+        sample_bytes: int,
+        backward_multiplier: float = 2.0,
+    ):
+        if not (len(layer_specs) == len(aux_heads) == len(optimizers)):
+            raise ConfigError(
+                "layer_specs, aux_heads and optimizers must align: "
+                f"{len(layer_specs)}/{len(aux_heads)}/{len(optimizers)}"
+            )
+        self.layer_specs = layer_specs
+        self.aux_heads = aux_heads
+        self.optimizers = optimizers
+        self.sim = sim
+        self.sample_bytes = sample_bytes
+        self.backward_multiplier = backward_multiplier
+        self.loss_fn = CrossEntropyLoss()
+        self._train_flops_per_sample = self._compute_train_flops()
+        self._forward_flops_per_sample = self._compute_forward_flops()
+        self._n_kernels = sum(
+            count_module_kernels(s.module) for s in layer_specs
+        ) + sum(count_module_kernels(a) for a in aux_heads)
+
+    def _compute_train_flops(self) -> int:
+        total = 0
+        for spec, aux in zip(self.layer_specs, self.aux_heads):
+            in_shape = (1, spec.in_channels, *spec.in_hw)
+            fwd, out_shape = module_forward_flops(spec.module, in_shape)
+            total += training_step_flops(fwd, self.backward_multiplier)
+            aux_fwd, _ = module_forward_flops(aux, out_shape)
+            total += training_step_flops(aux_fwd, self.backward_multiplier)
+        return total
+
+    def _compute_forward_flops(self) -> int:
+        total = 0
+        for spec in self.layer_specs:
+            in_shape = (1, spec.in_channels, *spec.in_hw)
+            fwd, _ = module_forward_flops(spec.module, in_shape)
+            total += fwd
+        return total
+
+    @property
+    def train_flops_per_sample(self) -> int:
+        return self._train_flops_per_sample
+
+    @property
+    def forward_flops_per_sample(self) -> int:
+        return self._forward_flops_per_sample
+
+    def train_pass(
+        self,
+        batches: Iterable[tuple[np.ndarray, np.ndarray]],
+        time_budget_s: float | None = None,
+        input_mode: str = "prefetch-raw",
+    ) -> tuple[int, int, float]:
+        """One pass of Algorithm 2 over the input stream.
+
+        Returns ``(n_batches, n_samples, mean_last_layer_loss)``.  Stops
+        early if the simulated clock passes ``time_budget_s``.
+        """
+        for spec in self.layer_specs:
+            spec.module.train()
+        for aux in self.aux_heads:
+            aux.train()
+        n_batches = 0
+        n_samples = 0
+        loss_sum = 0.0
+        for x, y in batches:
+            for spec, aux, opt in zip(self.layer_specs, self.aux_heads, self.optimizers):
+                out = spec.module.forward(x)  # Eq. 1: x_{n+1} = alpha P theta x_n
+                z = aux.forward(out)  # Eq. 2: local prediction
+                loss = self.loss_fn(z, y)  # Alg. 2 line 5
+                dz = self.loss_fn.backward()
+                dout = aux.backward(dz)  # Alg. 2 line 6
+                spec.module.backward(dout)
+                opt.step()  # Alg. 2 line 7
+                opt.zero_grad()
+                x = out
+            loss_sum += loss * len(x)
+            n_batches += 1
+            n_samples += len(x)
+            self.sim.add_training_step(
+                self._train_flops_per_sample * len(x),
+                self.sample_bytes * len(x),
+                self._n_kernels,
+                input_mode=input_mode,
+            )
+            if time_budget_s is not None and self.sim.elapsed >= time_budget_s:
+                break
+        mean_loss = loss_sum / n_samples if n_samples else float("nan")
+        return n_batches, n_samples, mean_loss
+
+    def forward_pass(
+        self,
+        batches: Iterable[tuple[np.ndarray, np.ndarray]],
+        on_output: Callable[[np.ndarray, np.ndarray], None],
+        charge_time: bool = True,
+    ) -> int:
+        """Eval-mode forward over the trained block, emitting its outputs.
+
+        Used after training to produce the activations cached for the next
+        block.  Returns the number of samples processed.
+        """
+        for spec in self.layer_specs:
+            spec.module.eval()
+        n_samples = 0
+        for x, y in batches:
+            for spec in self.layer_specs:
+                x = spec.module.forward(x)
+            on_output(x, y)
+            n_samples += len(x)
+            if charge_time:
+                self.sim.add_inference_batch(
+                    self._forward_flops_per_sample * len(x),
+                    self.sample_bytes * len(x),
+                    self._n_kernels,
+                )
+        for spec in self.layer_specs:
+            spec.module.train()
+        return n_samples

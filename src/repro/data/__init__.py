@@ -1,0 +1,13 @@
+"""Datasets: synthetic stand-ins for CIFAR-10/100 and Tiny ImageNet."""
+
+from repro.data.datasets import DatasetSpec, SyntheticImageDataset
+from repro.data.loader import DataLoader
+from repro.data.registry import dataset_spec, list_datasets
+
+__all__ = [
+    "DataLoader",
+    "DatasetSpec",
+    "SyntheticImageDataset",
+    "dataset_spec",
+    "list_datasets",
+]

@@ -1,0 +1,56 @@
+"""Minibatch iteration over in-memory arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+
+class DataLoader:
+    """Seeded, optionally shuffled minibatch iterator.
+
+    Yields ``(x, y)`` views/copies of the underlying arrays.  Iterating
+    twice yields different shuffles (the generator advances), matching the
+    epoch semantics of a typical training loop.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ):
+        if len(x) != len(y):
+            raise ShapeError(f"x and y disagree on length: {len(x)} vs {len(y)}")
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        self.x = x
+        self.y = y
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.x)
+        if self.drop_last:
+            return n // self.batch_size
+        return -(-n // self.batch_size)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.x)
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.x)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        limit = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, limit, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.x[idx], self.y[idx]

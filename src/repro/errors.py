@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError):
+    """An array had an unexpected shape or an incompatible geometry."""
+
+
+class ConfigError(ReproError):
+    """A configuration value was invalid or inconsistent."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A simulated GPU allocation would exceed the configured budget.
+
+    Mirrors a CUDA out-of-memory failure: training methods that cannot fit a
+    single sample under the budget raise this, which is how the benchmarks
+    reproduce the "no data point below 250-300 MB for BP / classic LL"
+    behaviour of Figure 11.
+    """
+
+    def __init__(self, requested: int, in_use: int, budget: int, what: str = ""):
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.budget = int(budget)
+        self.what = what
+        detail = f" while allocating {what!r}" if what else ""
+        super().__init__(
+            f"simulated GPU out of memory{detail}: requested {requested} B "
+            f"with {in_use} B in use exceeds budget {budget} B"
+        )
+
+
+class ProfilingError(ReproError):
+    """The memory profiler could not fit a usable linear model."""
+
+
+class PartitionError(ReproError):
+    """The partitioner could not produce feasible blocks under the budget."""

@@ -1,0 +1,30 @@
+"""Evaluation helpers: inference throughput and closed-form training-time
+simulation on the modeled platforms."""
+
+from repro.evalsim.throughput import (
+    ThroughputResult,
+    convnet_throughput,
+    exit_model_throughput,
+    inference_throughput,
+    throughput_gain,
+)
+from repro.evalsim.training_time import (
+    SimulatedRun,
+    simulate_bp,
+    simulate_classic_ll,
+    simulate_neuroflux,
+    try_simulate,
+)
+
+__all__ = [
+    "SimulatedRun",
+    "ThroughputResult",
+    "convnet_throughput",
+    "exit_model_throughput",
+    "inference_throughput",
+    "simulate_bp",
+    "simulate_classic_ll",
+    "simulate_neuroflux",
+    "throughput_gain",
+    "try_simulate",
+]

@@ -1,0 +1,11 @@
+"""Reproductions of every figure and table in the paper's evaluation.
+
+One module per experiment; each exposes ``run(...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult`.  The ``benchmarks/``
+tree wraps these for ``pytest --benchmark-only``; EXPERIMENTS.md records
+the measured shapes against the paper's.
+"""
+
+from repro.experiments.common import ExperimentResult, small_training_setup
+
+__all__ = ["ExperimentResult", "small_training_setup"]

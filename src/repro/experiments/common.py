@@ -1,0 +1,98 @@
+"""Shared infrastructure for the paper's experiments.
+
+Each ``repro.experiments.figXX`` module computes the data behind one figure
+or table of the paper and returns an :class:`ExperimentResult` whose
+``table()`` renders the same rows/series the paper reports.  The
+``benchmarks/`` tree wraps these in pytest-benchmark entries; EXPERIMENTS.md
+records paper-vs-measured shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+MB = 2**20
+GB = 2**30
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced figure/table plus presentation metadata."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[Sequence] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row width {len(values)} != columns {len(self.columns)}"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def table(self) -> str:
+        """Plain-text table rendering (printed by the benchmarks)."""
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                return f"{v:.3g}"
+            return str(v)
+
+        str_rows = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(col), *(len(r[i]) for r in str_rows)) if str_rows else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        header = "  ".join(col.ljust(w) for col, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in str_rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def small_training_setup(
+    model_name: str = "vgg11",
+    num_classes: int = 4,
+    image_hw: tuple[int, int] = (16, 16),
+    width_multiplier: float = 0.125,
+    n_train: int = 240,
+    n_val: int = 60,
+    n_test: int = 60,
+    noise_std: float = 0.4,
+    seed: int = 7,
+):
+    """A scaled-down (model, dataset) pair for real-training experiments.
+
+    Real numpy training at paper scale is infeasible in CI; these settings
+    preserve the phenomena (accuracy ordering, exit saturation) at small
+    scale.  Returns ``(model, dataset)``.
+    """
+    from dataclasses import replace
+
+    from repro.data.registry import dataset_spec
+    from repro.models.zoo import build_model
+
+    spec = dataset_spec(
+        "cifar10", num_classes=num_classes, image_hw=image_hw,
+        noise_std=noise_std, seed=seed,
+    )
+    spec = replace(spec, n_train=n_train, n_val=n_val, n_test=n_test)
+    data = spec.materialize()
+    model = build_model(
+        model_name,
+        num_classes=num_classes,
+        input_hw=image_hw,
+        width_multiplier=width_multiplier,
+        seed=seed,
+    )
+    return model, data

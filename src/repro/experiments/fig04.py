@@ -1,0 +1,46 @@
+"""Figure 4: VGG-19 GPU memory for inference / BP / classic LL / AAN-LL.
+
+The memory comparison that motivates adaptive auxiliary networks: classic
+LL's fixed 256-filter heads cost more than BP, while AAN-LL sits between
+inference and BP across batch sizes 10-90.
+"""
+
+from __future__ import annotations
+
+from repro.core.auxiliary import build_aux_heads
+from repro.experiments.common import MB, ExperimentResult
+from repro.memory.estimator import (
+    bp_training_memory,
+    inference_memory,
+    ll_training_memory,
+)
+from repro.models.zoo import build_model
+
+BATCHES = (10, 30, 50, 70, 90)
+
+
+def run(
+    model_name: str = "vgg19",
+    num_classes: int = 200,
+    batches: tuple[int, ...] = BATCHES,
+) -> ExperimentResult:
+    model = build_model(model_name, num_classes=num_classes, input_hw=(32, 32))
+    classic = list(build_aux_heads(model, rule="classic")[:-1]) + [None]
+    aan = build_aux_heads(model, rule="aan")
+    result = ExperimentResult(
+        experiment_id="fig04",
+        title=f"{model_name} GPU memory vs batch size (MB)",
+        columns=["batch", "inference", "AAN_LL", "BP", "classic_LL"],
+    )
+    for batch in batches:
+        result.add_row(
+            batch,
+            inference_memory(model, batch).total / MB,
+            ll_training_memory(model, aan, batch, residency="params-only").total / MB,
+            bp_training_memory(model, batch).total / MB,
+            ll_training_memory(model, classic, batch, residency="full").total / MB,
+        )
+    result.notes.append(
+        "paper shape: inference < AAN-LL < BP < classic LL at every batch size"
+    )
+    return result

@@ -1,0 +1,43 @@
+"""Figure 8: layer training memory is linear in batch size (VGG-11).
+
+The observation underpinning the Profiler's linear models: per-layer
+AAN-LL memory measured at several batch sizes lies on a line (R^2 ~ 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.auxiliary import build_aux_heads
+from repro.core.profiler import MemoryProfiler, measure_unit_memory
+from repro.experiments.common import MB, ExperimentResult
+from repro.models.zoo import build_model
+
+BATCHES = (10, 20, 30, 40, 50, 60, 70, 80, 90)
+
+
+def run(
+    model_name: str = "vgg11",
+    num_classes: int = 200,
+    batches: tuple[int, ...] = BATCHES,
+) -> ExperimentResult:
+    model = build_model(model_name, num_classes=num_classes, input_hw=(32, 32))
+    aan = build_aux_heads(model, rule="aan")
+    specs = model.local_layers()
+    result = ExperimentResult(
+        experiment_id="fig08",
+        title=f"{model_name} per-layer memory (MB) vs batch size + linear fit",
+        columns=["layer"] + [f"b{b}" for b in batches] + ["slope_MB", "r_squared"],
+    )
+    profile = MemoryProfiler(specs, list(aan), sample_batches=batches).profile()
+    for i, (spec, aux) in enumerate(zip(specs, aan)):
+        measured = [measure_unit_memory(spec, aux, b) / MB for b in batches]
+        lm = profile.models[i]
+        result.add_row(i + 1, *measured, lm.slope / MB, lm.r_squared)
+    result.notes.append("paper shape: every layer's memory is linear in batch size")
+    return result
+
+
+def linearity_check(result: ExperimentResult) -> float:
+    """Minimum R^2 across layers (1.0 means perfectly linear)."""
+    return float(np.min(result.column("r_squared")))

@@ -1,0 +1,46 @@
+"""Figure 10: layer-wise validation accuracy and the optimal exit point.
+
+Paper: VGG-16 on CIFAR-100 trained with NeuroFlux; validation accuracy
+rises with depth, saturates at layer 5 (the chosen exit), then plateaus or
+dips slightly -- the 'overthinking' phenomenon that makes early exits
+viable.  Reproduced with a real (scaled-down) NeuroFlux run.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import NeuroFluxConfig
+from repro.core.controller import NeuroFlux
+from repro.experiments.common import MB, ExperimentResult, small_training_setup
+
+
+def run(
+    epochs: int = 5,
+    budget_mb: int = 24,
+    model_name: str = "vgg16",
+    seed: int = 7,
+) -> ExperimentResult:
+    model, data = small_training_setup(model_name=model_name, seed=seed)
+    nf = NeuroFlux(
+        model,
+        data,
+        memory_budget=budget_mb * MB,
+        config=NeuroFluxConfig(batch_limit=64, seed=seed),
+    )
+    report = nf.run(epochs)
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title=f"{model_name} layer-wise validation accuracy (exit selection)",
+        columns=["layer", "val_accuracy", "is_selected_exit"],
+    )
+    for i, acc in enumerate(report.layer_val_accuracies):
+        result.add_row(i + 1, acc, i == report.exit_layer)
+    result.notes.append(
+        "paper shape: accuracy saturates at an intermediate layer; the "
+        "selected exit achieves near-best accuracy with minimal parameters"
+    )
+    result.notes.append(
+        f"selected exit layer {report.exit_layer + 1} "
+        f"({report.exit_params / 1e6:.3f}M params, "
+        f"{report.compression_factor:.1f}x compression)"
+    )
+    return result

@@ -1,0 +1,57 @@
+"""Figure 13: activation sizes per layer and cumulative auxiliary FLOPs.
+
+Paper: VGG-19 downsamples aggressively, so its activation tensors shrink
+quickly with depth, while ResNet-18 keeps larger maps longer; consequently
+VGG-19's auxiliary networks cost fewer cumulative FLOPs -- the reason
+NeuroFlux gains more on VGG-19 than on ResNet-18 (Observation 3's
+discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.auxiliary import build_aux_heads
+from repro.experiments.common import ExperimentResult
+from repro.flops.count import module_forward_flops
+from repro.models.zoo import build_model
+
+
+def run(
+    model_names: tuple[str, ...] = ("vgg19", "resnet18"),
+    num_classes: int = 200,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="Per-layer activation size and normalized cumulative aux FLOPs",
+        columns=["model", "layer", "activation_elements", "cum_aux_flops_norm"],
+    )
+    for name in model_names:
+        model = build_model(name, num_classes=num_classes, input_hw=(32, 32))
+        heads = build_aux_heads(model, rule="aan")
+        aux_flops = []
+        for spec, head in zip(model.local_layers(), heads):
+            f, _ = module_forward_flops(head, (1, spec.out_channels, *spec.out_hw))
+            aux_flops.append(f)
+        cumulative = np.cumsum(aux_flops, dtype=np.float64)
+        cumulative /= cumulative[-1]
+        for spec, cum in zip(model.local_layers(), cumulative):
+            result.add_row(
+                name, spec.index + 1, spec.output_elements_per_sample, float(cum)
+            )
+    result.notes.append(
+        "paper shape: VGG-19 activations shrink faster with depth than "
+        "ResNet-18's; ResNet-18's aux networks cost more cumulative FLOPs"
+    )
+    return result
+
+
+def total_aux_flops(model_name: str, num_classes: int = 200) -> int:
+    """Absolute cumulative aux FLOPs (used by the comparison benchmark)."""
+    model = build_model(model_name, num_classes=num_classes, input_hw=(32, 32))
+    heads = build_aux_heads(model, rule="aan")
+    total = 0
+    for spec, head in zip(model.local_layers(), heads):
+        f, _ = module_forward_flops(head, (1, spec.out_channels, *spec.out_hw))
+        total += f
+    return total

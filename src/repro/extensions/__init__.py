@@ -1,0 +1,17 @@
+"""Extensions beyond the paper's core system (Section 8 future work)."""
+
+from repro.extensions.federated import (
+    FederatedClient,
+    FederatedNeuroFlux,
+    FederatedResult,
+    federated_average,
+    shard_dataset,
+)
+
+__all__ = [
+    "FederatedClient",
+    "FederatedNeuroFlux",
+    "FederatedResult",
+    "federated_average",
+    "shard_dataset",
+]

@@ -1,0 +1,198 @@
+"""Federated learning on top of NeuroFlux (paper Section 8, future work).
+
+The paper envisions NeuroFlux enabling federated learning on edge devices:
+each client trains under its own memory budget, and the reduced client
+training time speeds up global convergence.  This extension implements
+synchronous FedAvg over NeuroFlux clients:
+
+* every client holds a disjoint shard of the training data and a memory
+  budget (possibly different per device);
+* each round, clients run NeuroFlux locally from the current global
+  weights, then the server averages stage and auxiliary-head parameters
+  (shard-size weighted);
+* round latency is the slowest client's simulated time (synchronous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.auxiliary import build_aux_heads
+from repro.core.config import NeuroFluxConfig
+from repro.core.controller import NeuroFlux
+from repro.data.datasets import SyntheticImageDataset
+from repro.errors import ConfigError
+from repro.hw.platforms import AGX_ORIN, Platform
+from repro.models.zoo import build_model
+from repro.training.common import evaluate_classifier
+
+
+def federated_average(
+    states: list[dict[str, np.ndarray]], weights: list[float]
+) -> dict[str, np.ndarray]:
+    """Weighted average of parameter dictionaries (FedAvg)."""
+    if not states:
+        raise ConfigError("no client states to average")
+    if len(states) != len(weights):
+        raise ConfigError("one weight per state required")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ConfigError("weights must sum to a positive value")
+    keys = set(states[0])
+    for s in states[1:]:
+        if set(s) != keys:
+            raise ConfigError("client states disagree on parameter names")
+    out: dict[str, np.ndarray] = {}
+    for key in keys:
+        acc = np.zeros_like(states[0][key], dtype=np.float64)
+        for state, w in zip(states, weights):
+            acc += (w / total) * state[key]
+        out[key] = acc.astype(states[0][key].dtype)
+    return out
+
+
+@dataclass
+class FederatedClient:
+    """One edge device: a data shard, budget and platform."""
+
+    client_id: int
+    data: SyntheticImageDataset
+    memory_budget: int
+    platform: Platform = AGX_ORIN
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.data.x_train)
+
+
+@dataclass
+class FederatedRound:
+    round_index: int
+    sim_time_s: float
+    global_accuracy: float
+    client_exit_layers: list[int] = field(default_factory=list)
+
+
+@dataclass
+class FederatedResult:
+    rounds: list[FederatedRound]
+    final_accuracy: float
+    total_sim_time_s: float
+
+
+def shard_dataset(
+    data: SyntheticImageDataset, n_clients: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Split the training set into contiguous, near-equal shards."""
+    if n_clients < 1:
+        raise ConfigError("need at least one client")
+    xs = np.array_split(data.x_train, n_clients)
+    ys = np.array_split(data.y_train, n_clients)
+    return list(zip(xs, ys))
+
+
+class FederatedNeuroFlux:
+    """Synchronous FedAvg where every client trains with NeuroFlux."""
+
+    def __init__(
+        self,
+        model_name: str,
+        clients: list[FederatedClient],
+        eval_data: SyntheticImageDataset,
+        model_kwargs: dict | None = None,
+        config: NeuroFluxConfig | None = None,
+        seed: int = 0,
+    ):
+        if not clients:
+            raise ConfigError("need at least one client")
+        self.model_name = model_name
+        self.clients = clients
+        self.eval_data = eval_data
+        self.model_kwargs = model_kwargs or {}
+        self.config = config if config is not None else NeuroFluxConfig()
+        self.seed = seed
+        self._global_model = self._build_model()
+        self._global_state = self._global_model.state_dict()
+        # NeuroFlux classifies through auxiliary heads (the model's own
+        # head is never trained), so the heads are federated state too.
+        self._global_aux = build_aux_heads(
+            self._global_model,
+            rule=self.config.aux_rule,
+            classic_filters=self.config.classic_filters,
+            seed=self.seed,
+            pool_to=self.config.aux_pool_to,
+        )
+        self._global_aux_states = [h.state_dict() for h in self._global_aux]
+
+    def _build_model(self):
+        return build_model(self.model_name, seed=self.seed, **self.model_kwargs)
+
+    def run(self, rounds: int, local_epochs: int = 1) -> FederatedResult:
+        if rounds < 1:
+            raise ConfigError("rounds must be >= 1")
+        history: list[FederatedRound] = []
+        total_time = 0.0
+        for round_idx in range(rounds):
+            states = []
+            aux_states: list[list[dict[str, np.ndarray]]] = []
+            weights = []
+            times = []
+            exit_layers = []
+            for client in self.clients:
+                model = self._build_model()
+                model.load_state_dict(self._global_state)
+                nf = NeuroFlux(
+                    model,
+                    client.data,
+                    memory_budget=client.memory_budget,
+                    platform=client.platform,
+                    config=self.config,
+                )
+                for head, state in zip(nf.aux_heads, self._global_aux_states):
+                    head.load_state_dict(state)
+                report = nf.run(local_epochs)
+                states.append(model.state_dict())
+                aux_states.append([h.state_dict() for h in nf.aux_heads])
+                weights.append(float(client.n_samples))
+                times.append(report.result.sim_time_s)
+                exit_layers.append(report.exit_layer)
+            self._global_state = federated_average(states, weights)
+            self._global_model.load_state_dict(self._global_state)
+            self._global_aux_states = [
+                federated_average([c[i] for c in aux_states], weights)
+                for i in range(len(self._global_aux))
+            ]
+            for head, state in zip(self._global_aux, self._global_aux_states):
+                head.load_state_dict(state)
+            acc = self._global_exit_accuracy(exit_layers)
+            round_time = max(times)  # synchronous round: slowest client
+            total_time += round_time
+            history.append(
+                FederatedRound(round_idx, round_time, acc, exit_layers)
+            )
+        return FederatedResult(
+            rounds=history,
+            final_accuracy=history[-1].global_accuracy,
+            total_sim_time_s=total_time,
+        )
+
+    def _global_exit_accuracy(self, client_exits: list[int]) -> float:
+        """Test accuracy of the global model through the consensus exit.
+
+        The exit layer is the deepest layer any client selected (a shallow
+        client exit still has trained weights beneath it).
+        """
+        exit_layer = max(client_exits)
+        self._global_model.eval()
+        aux = self._global_aux[exit_layer]
+        aux.eval()
+
+        def forward(x: np.ndarray) -> np.ndarray:
+            feats = self._global_model.forward_features(x, upto=exit_layer + 1)
+            return aux.forward(feats)
+
+        return evaluate_classifier(
+            forward, self.eval_data.x_test, self.eval_data.y_test
+        )

@@ -1,0 +1,17 @@
+"""FLOP accounting used by the execution-time simulator and Figure 13."""
+
+from repro.flops.count import (
+    DEFAULT_BACKWARD_MULTIPLIER,
+    model_forward_flops,
+    module_forward_flops,
+    stage_output_shapes,
+    training_step_flops,
+)
+
+__all__ = [
+    "DEFAULT_BACKWARD_MULTIPLIER",
+    "model_forward_flops",
+    "module_forward_flops",
+    "stage_output_shapes",
+    "training_step_flops",
+]

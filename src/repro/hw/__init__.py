@@ -1,0 +1,28 @@
+"""Hardware platform models and the execution-time simulator.
+
+Stands in for the paper's physical testbed (Table 1): Raspberry Pi 4B,
+Jetson Nano, Jetson Xavier NX and Jetson AGX Orin.
+"""
+
+from repro.hw.platforms import (
+    AGX_ORIN,
+    ALL_PLATFORMS,
+    JETSON_NANO,
+    RASPBERRY_PI_4B,
+    XAVIER_NX,
+    Platform,
+    get_platform,
+)
+from repro.hw.simulator import ExecutionSimulator, TimeLedger
+
+__all__ = [
+    "AGX_ORIN",
+    "ALL_PLATFORMS",
+    "ExecutionSimulator",
+    "JETSON_NANO",
+    "Platform",
+    "RASPBERRY_PI_4B",
+    "TimeLedger",
+    "XAVIER_NX",
+    "get_platform",
+]

@@ -1,0 +1,131 @@
+"""Edge hardware platform descriptors (paper Table 1).
+
+Peak TFLOPs, core counts and memory sizes are taken directly from Table 1;
+the remaining parameters (achievable compute efficiency, memory/storage
+bandwidths, per-batch overheads) are calibrated so that the *relative*
+behaviours the paper reports emerge from the execution-time model:
+
+* small batches are dominated by per-batch load/preprocess overhead
+  (Figure 1's 5x-9x slowdown at batch 4 vs 256);
+* cached-activation reads/writes cost storage bandwidth (Section 6.4);
+* slower platforms scale inference throughput down (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+GIB = 1024**3
+MIB = 1024**2
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A compute platform for the execution-time simulator.
+
+    Attributes:
+        name: display name.
+        peak_flops: peak floating-point throughput (FLOPs/s), Table 1.
+        compute_efficiency: achievable fraction of peak for CNN kernels.
+        memory_bytes: device RAM (shared CPU/GPU on Jetsons), Table 1.
+        host_bandwidth: bytes/s for staging a batch into working memory.
+        storage_bandwidth: bytes/s of the storage device (SD card / eMMC).
+        storage_latency: seconds of fixed latency per storage operation.
+        kernel_launch_overhead: seconds per layer-level kernel dispatch.
+        batch_overhead: seconds of fixed per-batch cost (dataloader,
+            preprocessing, host-device staging setup); prefetched input
+            modes pay a fraction of it (see
+            :data:`repro.hw.simulator.ExecutionSimulator.INPUT_MODE_OVERHEAD`).
+        has_gpu: False for CPU-only platforms (Raspberry Pi 4B).
+    """
+
+    name: str
+    peak_flops: float
+    compute_efficiency: float
+    memory_bytes: int
+    host_bandwidth: float
+    storage_bandwidth: float
+    storage_latency: float
+    kernel_launch_overhead: float
+    batch_overhead: float
+    has_gpu: bool = True
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ConfigError("peak_flops must be positive")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ConfigError("compute_efficiency must be in (0, 1]")
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOPs/s for CNN workloads."""
+        return self.peak_flops * self.compute_efficiency
+
+
+RASPBERRY_PI_4B = Platform(
+    name="Raspberry Pi 4B",
+    peak_flops=0.00969e12,
+    compute_efficiency=0.50,
+    memory_bytes=4 * GIB,
+    host_bandwidth=3e9,
+    storage_bandwidth=40e6,
+    storage_latency=2e-3,
+    kernel_launch_overhead=2e-5,
+    batch_overhead=0.35,
+    has_gpu=False,
+)
+
+JETSON_NANO = Platform(
+    name="Jetson Nano",
+    peak_flops=0.472e12,
+    compute_efficiency=0.25,
+    memory_bytes=4 * GIB,
+    host_bandwidth=6e9,
+    storage_bandwidth=80e6,
+    storage_latency=1e-3,
+    kernel_launch_overhead=8e-5,
+    batch_overhead=0.18,
+)
+
+XAVIER_NX = Platform(
+    name="Jetson Xavier NX",
+    peak_flops=1.33e12,
+    compute_efficiency=0.25,
+    memory_bytes=8 * GIB,
+    host_bandwidth=25e9,
+    storage_bandwidth=400e6,  # NVMe-capable carrier
+    storage_latency=5e-4,
+    kernel_launch_overhead=6e-5,
+    batch_overhead=0.10,
+)
+
+AGX_ORIN = Platform(
+    name="Jetson AGX Orin",
+    peak_flops=4.76e12,
+    compute_efficiency=0.25,
+    memory_bytes=64 * GIB,
+    host_bandwidth=100e9,
+    storage_bandwidth=1.2e9,  # devkit NVMe
+    storage_latency=2e-4,
+    kernel_launch_overhead=5e-5,
+    batch_overhead=0.07,
+)
+
+ALL_PLATFORMS: dict[str, Platform] = {
+    "pi4b": RASPBERRY_PI_4B,
+    "nano": JETSON_NANO,
+    "xavier-nx": XAVIER_NX,
+    "agx-orin": AGX_ORIN,
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform by its short name."""
+    key = name.lower()
+    if key not in ALL_PLATFORMS:
+        raise ConfigError(
+            f"unknown platform {name!r}; available: {sorted(ALL_PLATFORMS)}"
+        )
+    return ALL_PLATFORMS[key]

@@ -1,0 +1,134 @@
+"""Execution-time simulator.
+
+Substitutes for the paper's Jetson/Raspberry-Pi testbed: every training
+step, data transfer and storage operation is converted to simulated seconds
+from the platform descriptor.  Trainers accumulate these into a
+:class:`TimeLedger`, which the Figure 11/12 benchmarks read as "training
+time".  Absolute values are model estimates; the comparisons the paper
+makes (method A vs method B on the same platform) are preserved because all
+methods share the same cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hw.platforms import Platform
+
+
+@dataclass
+class TimeLedger:
+    """Accumulated simulated time, split by cost category (seconds)."""
+
+    compute: float = 0.0
+    data_io: float = 0.0
+    cache_io: float = 0.0
+    overhead: float = 0.0
+    profiling: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.data_io + self.cache_io + self.overhead + self.profiling
+
+    def merge(self, other: "TimeLedger") -> None:
+        self.compute += other.compute
+        self.data_io += other.data_io
+        self.cache_io += other.cache_io
+        self.overhead += other.overhead
+        self.profiling += other.profiling
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "compute": self.compute,
+            "data_io": self.data_io,
+            "cache_io": self.cache_io,
+            "overhead": self.overhead,
+            "profiling": self.profiling,
+            "total": self.total,
+        }
+
+
+@dataclass
+class ExecutionSimulator:
+    """Converts work (FLOPs, bytes, dispatches) to simulated seconds."""
+
+    platform: Platform
+    ledger: TimeLedger = field(default_factory=TimeLedger)
+
+    def compute_time(self, flops: float) -> float:
+        if flops < 0:
+            raise ConfigError("flops must be non-negative")
+        return flops / self.platform.effective_flops
+
+    def transfer_time(self, nbytes: float) -> float:
+        return nbytes / self.platform.host_bandwidth
+
+    def storage_time(self, nbytes: float, n_ops: int = 1) -> float:
+        return nbytes / self.platform.storage_bandwidth + n_ops * self.platform.storage_latency
+
+    # -- accumulation helpers ------------------------------------------------
+    #: Fraction of the dataloader overhead paid per input mode.
+    #: "loader": synchronous raw-image loading (the BP / classic-LL loop).
+    #: "prefetch-raw": NeuroFlux's pipelined prefetcher over raw images
+    #: (decode/augment overlapped with training, Section 3.2).
+    #: "prefetch-cache": prefetcher over cached activations (no decode at
+    #: all, only rebatching).
+    INPUT_MODE_OVERHEAD = {
+        "loader": 1.0,
+        "prefetch-raw": 0.25,
+        "prefetch-cache": 0.125,
+    }
+
+    def add_training_step(
+        self,
+        flops: float,
+        batch_bytes: float,
+        n_kernels: int,
+        input_mode: str = "loader",
+    ) -> float:
+        """Account one optimizer step: compute + staging + dispatch overhead.
+
+        ``input_mode`` selects how much of the per-batch dataloader cost
+        applies (see :data:`INPUT_MODE_OVERHEAD`).
+        """
+        if input_mode not in self.INPUT_MODE_OVERHEAD:
+            raise ConfigError(f"unknown input mode {input_mode!r}")
+        compute = self.compute_time(flops)
+        io = self.transfer_time(batch_bytes)
+        batch_cost = (
+            self.platform.batch_overhead * self.INPUT_MODE_OVERHEAD[input_mode]
+        )
+        overhead = batch_cost + n_kernels * self.platform.kernel_launch_overhead
+        self.ledger.compute += compute
+        self.ledger.data_io += io
+        self.ledger.overhead += overhead
+        return compute + io + overhead
+
+    def add_inference_batch(self, flops: float, batch_bytes: float, n_kernels: int) -> float:
+        """Account one inference batch (no per-batch training overhead)."""
+        compute = self.compute_time(flops)
+        io = self.transfer_time(batch_bytes)
+        overhead = n_kernels * self.platform.kernel_launch_overhead
+        self.ledger.compute += compute
+        self.ledger.data_io += io
+        self.ledger.overhead += overhead
+        return compute + io + overhead
+
+    def add_cache_write(self, nbytes: float, n_files: int = 1) -> float:
+        t = self.storage_time(nbytes, n_files)
+        self.ledger.cache_io += t
+        return t
+
+    def add_cache_read(self, nbytes: float, n_files: int = 1) -> float:
+        t = self.storage_time(nbytes, n_files)
+        self.ledger.cache_io += t
+        return t
+
+    def add_profiling(self, seconds: float) -> float:
+        self.ledger.profiling += seconds
+        return seconds
+
+    @property
+    def elapsed(self) -> float:
+        return self.ledger.total

@@ -1,0 +1,353 @@
+"""Analytic GPU-memory model.
+
+The paper's Profiler measures training-time GPU memory per layer and per
+batch size (Figure 8) and observes it is linear in the batch size.  This
+module reproduces the quantity being measured: the tensors a CUDA autograd
+engine retains for backward (conv/BN/linear retain their *inputs*, ReLU its
+output, max-pool its indices), plus parameters, gradients, optimizer state
+and the largest transient conv workspace (im2col/implicit-GEMM buffer).
+
+Note the deliberate distinction from the numpy substrate: ``repro.nn``
+caches im2col matrices for speed, but the simulated-GPU numbers model the
+PyTorch/cuDNN retention semantics the paper measured.  All counts assume
+float32; ReLU outputs are retained as float (PyTorch keeps the output
+tensor), dropout masks 1 byte, pooling argmax indices 8 bytes (int64).
+
+Three training footprints matter for the paper's comparisons (Figure 4):
+
+* :func:`bp_training_memory` -- end-to-end BP retains *every* layer's
+  backward state at once.
+* :func:`ll_training_memory` with ``residency="full"`` -- classic LL:
+  the whole model plus every auxiliary head's parameters, gradient buffers
+  and optimizer state stay resident; only one unit's activations live at a
+  time, but the 256-filter heads make that unit large.
+* :func:`local_unit_training_memory` -- one unit alone (layer + aux),
+  which is what NeuroFlux's Worker keeps resident; with ``residency=
+  "params-only"``, :func:`ll_training_memory` models AAN-LL as measured in
+  Figures 4-6 (model weights resident, one unit trained at a time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.flops.count import module_forward_flops
+from repro.models.base import ConvNet
+from repro.models.layers import LayerSpec
+from repro.nn.activations import LeakyReLU, ReLU, Tanh
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.nn.dropout import Dropout
+from repro.nn.flatten import Flatten
+from repro.nn.linear import Linear
+from repro.nn.module import Identity, Module, Sequential
+from repro.nn.normalization import BatchNorm2d
+from repro.nn.pooling import AdaptiveAvgPool2d, AvgPool2d, MaxPool2d
+
+FLOAT_BYTES = 4
+INDEX_BYTES = 8
+MASK_BYTES = 1
+
+#: Optimizer state bytes as a multiple of parameter bytes.
+OPTIMIZER_STATE_MULTIPLIER = {
+    "sgd": 0.0,
+    "sgd-momentum": 1.0,
+    "adam": 2.0,
+}
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Byte-level decomposition of a training (or inference) footprint."""
+
+    activations: int
+    parameters: int
+    gradients: int
+    optimizer: int
+    workspace: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.activations
+            + self.parameters
+            + self.gradients
+            + self.optimizer
+            + self.workspace
+        )
+
+    def __add__(self, other: "MemoryBreakdown") -> "MemoryBreakdown":
+        return MemoryBreakdown(
+            self.activations + other.activations,
+            self.parameters + other.parameters,
+            self.gradients + other.gradients,
+            self.optimizer + other.optimizer,
+            self.workspace + other.workspace,
+        )
+
+
+def _numel(shape: tuple[int, ...]) -> int:
+    return int(np.prod(shape))
+
+
+def optimizer_state_bytes(param_bytes: int, optimizer: str) -> int:
+    if optimizer not in OPTIMIZER_STATE_MULTIPLIER:
+        raise ConfigError(
+            f"unknown optimizer {optimizer!r}; "
+            f"known: {sorted(OPTIMIZER_STATE_MULTIPLIER)}"
+        )
+    return int(param_bytes * OPTIMIZER_STATE_MULTIPLIER[optimizer])
+
+
+def iter_atomic_ops(
+    module: Module, in_shape: tuple[int, ...]
+) -> Iterator[tuple[Module, tuple[int, ...], tuple[int, ...]]]:
+    """Yield ``(op, in_shape, out_shape)`` for every atomic op in order.
+
+    Composites may provide an ``iter_memory_ops(in_shape)`` hook (the
+    residual block uses this to expose both branches).
+    """
+    hook = getattr(module, "iter_memory_ops", None)
+    if hook is not None:
+        yield from hook(in_shape)
+        return
+    if isinstance(module, Sequential):
+        shape = in_shape
+        for child in module:
+            yield from iter_atomic_ops(child, shape)
+            _, shape = module_forward_flops(child, shape)
+        return
+    _, out_shape = module_forward_flops(module, in_shape)
+    yield module, in_shape, out_shape
+
+
+def retained_bytes(op: Module, in_shape: tuple[int, ...], out_shape: tuple[int, ...]) -> int:
+    """Bytes autograd keeps alive after a training-mode forward of ``op``."""
+    if isinstance(op, (Conv2d, DepthwiseConv2d, Linear)):
+        return _numel(in_shape) * FLOAT_BYTES
+    if isinstance(op, BatchNorm2d):
+        # Input plus per-channel saved mean / inverse std.
+        return _numel(in_shape) * FLOAT_BYTES + 2 * in_shape[1] * FLOAT_BYTES
+    if isinstance(op, (ReLU, LeakyReLU, Tanh)):
+        return _numel(out_shape) * FLOAT_BYTES
+    if isinstance(op, MaxPool2d):
+        return _numel(out_shape) * INDEX_BYTES
+    if isinstance(op, (AvgPool2d, AdaptiveAvgPool2d, Flatten, Identity)):
+        return 0
+    if isinstance(op, Dropout):
+        return _numel(in_shape) * MASK_BYTES
+    raise ShapeError(f"no retained-bytes rule for {type(op).__name__}")
+
+
+def op_workspace_bytes(op: Module, in_shape: tuple[int, ...], out_shape: tuple[int, ...]) -> int:
+    """Transient lowering buffer a conv kernel needs while executing."""
+    if isinstance(op, Conv2d):
+        k = op.kernel_size
+        n = in_shape[0]
+        oh, ow = out_shape[2], out_shape[3]
+        return n * oh * ow * op.in_channels * k * k * FLOAT_BYTES
+    if isinstance(op, DepthwiseConv2d):
+        k = op.kernel_size
+        return _numel(out_shape) * k * k * FLOAT_BYTES
+    return 0
+
+
+def module_retained_bytes(module: Module, in_shape: tuple[int, ...]) -> int:
+    """Total retained bytes over every atomic op inside ``module``."""
+    return sum(
+        retained_bytes(op, i, o) for op, i, o in iter_atomic_ops(module, in_shape)
+    )
+
+
+def module_max_workspace_bytes(module: Module, in_shape: tuple[int, ...]) -> int:
+    """Largest transient conv workspace while executing ``module``.
+
+    Used for tightly-managed execution (NeuroFlux's single resident unit):
+    one kernel runs at a time and the worst buffer bounds the peak.
+    """
+    return max(
+        (op_workspace_bytes(op, i, o) for op, i, o in iter_atomic_ops(module, in_shape)),
+        default=0,
+    )
+
+
+def module_sum_workspace_bytes(module: Module, in_shape: tuple[int, ...]) -> int:
+    """Total conv workspace across every op in ``module``.
+
+    Models the CUDA caching-allocator behaviour the paper measures against:
+    each layer's lowering/workspace block stays in the allocator pool
+    across steps (it is re-used every iteration, never returned to the
+    device), so a full-graph method pays the *sum* of workspaces, not the
+    max.  This is a large part of why BP's measured footprint far exceeds
+    the naive retained-tensor sum.
+    """
+    return sum(
+        op_workspace_bytes(op, i, o) for op, i, o in iter_atomic_ops(module, in_shape)
+    )
+
+
+def module_peak_transient_bytes(module: Module, in_shape: tuple[int, ...]) -> int:
+    """Largest single input+output pair alive while executing ``module``.
+
+    This is the inference-mode activation footprint: no retention, only the
+    tensor being consumed plus the tensor being produced.
+    """
+    peak = 0
+    for _, i, o in iter_atomic_ops(module, in_shape):
+        peak = max(peak, (_numel(i) + _numel(o)) * FLOAT_BYTES)
+    return peak
+
+
+def bp_training_memory(
+    model: ConvNet, batch_size: int, optimizer: str = "sgd-momentum"
+) -> MemoryBreakdown:
+    """Footprint of one end-to-end backprop training step.
+
+    Backprop must retain every layer's backward state simultaneously, which
+    is the core observation of the paper's Figure 1: activations dominate
+    and scale with both depth and batch size.
+    """
+    if batch_size < 1:
+        raise ConfigError("batch_size must be >= 1")
+    in_shape = (batch_size, model.in_channels, *model.input_hw)
+    retained = _numel(in_shape) * FLOAT_BYTES  # input batch itself
+    workspace = 0
+    largest_output = 0
+    shape = in_shape
+    for stage in list(model.stages) + [model.head]:
+        retained += module_retained_bytes(stage, shape)
+        # Full-graph training: every layer's workspace stays pooled.
+        workspace += module_sum_workspace_bytes(stage, shape)
+        _, shape = module_forward_flops(stage, shape)
+        largest_output = max(largest_output, _numel(shape) * FLOAT_BYTES)
+    params = model.parameter_bytes()
+    return MemoryBreakdown(
+        activations=retained,
+        parameters=params,
+        gradients=params,
+        optimizer=optimizer_state_bytes(params, optimizer),
+        workspace=workspace + largest_output,
+    )
+
+
+def inference_memory(model: ConvNet, batch_size: int) -> MemoryBreakdown:
+    """Footprint of an inference forward pass (no retention)."""
+    in_shape = (batch_size, model.in_channels, *model.input_hw)
+    peak = 0
+    workspace = 0
+    shape = in_shape
+    for stage in list(model.stages) + [model.head]:
+        peak = max(peak, module_peak_transient_bytes(stage, shape))
+        workspace = max(workspace, module_max_workspace_bytes(stage, shape))
+        _, shape = module_forward_flops(stage, shape)
+    params = model.parameter_bytes()
+    return MemoryBreakdown(
+        activations=peak,
+        parameters=params,
+        gradients=0,
+        optimizer=0,
+        workspace=workspace,
+    )
+
+
+def local_unit_training_memory(
+    spec: LayerSpec,
+    aux_head: Module | None,
+    batch_size: int,
+    optimizer: str = "sgd-momentum",
+) -> MemoryBreakdown:
+    """Footprint of training one local-learning unit (layer + aux head).
+
+    Local learning only needs this single unit's state resident, which is
+    the paper's memory win; the aux head's own activations are what make
+    *classic* LL expensive at the early (large spatial) layers.
+    """
+    if batch_size < 1:
+        raise ConfigError("batch_size must be >= 1")
+    in_shape = (batch_size, spec.in_channels, *spec.in_hw)
+    out_shape = (batch_size, spec.out_channels, *spec.out_hw)
+    activations = _numel(in_shape) * FLOAT_BYTES  # unit input batch
+    activations += module_retained_bytes(spec.module, in_shape)
+    activations += _numel(out_shape) * FLOAT_BYTES  # unit output
+    # The unit's own kernels run every step, so their workspaces stay pooled.
+    workspace = module_sum_workspace_bytes(spec.module, in_shape)
+    if aux_head is not None:
+        activations += module_retained_bytes(aux_head, out_shape)
+        workspace += module_sum_workspace_bytes(aux_head, out_shape)
+        _, aux_out = module_forward_flops(aux_head, out_shape)
+        activations += _numel(aux_out) * FLOAT_BYTES
+    params = spec.module.parameter_bytes()
+    if aux_head is not None:
+        params += aux_head.parameter_bytes()
+    return MemoryBreakdown(
+        activations=activations,
+        parameters=params,
+        gradients=params,
+        optimizer=optimizer_state_bytes(params, optimizer),
+        workspace=workspace,
+    )
+
+
+def ll_training_memory(
+    model: ConvNet,
+    aux_heads: list[Module | None],
+    batch_size: int,
+    optimizer: str = "sgd-momentum",
+    residency: str = "full",
+) -> MemoryBreakdown:
+    """Footprint of layer-wise local learning over a whole model.
+
+    ``residency`` selects the deployment style:
+
+    * ``"full"`` -- classic LL: the model and *every* auxiliary head keep
+      parameters, gradient buffers and optimizer state resident (PyTorch
+      ``.grad`` buffers and optimizer state persist across steps).  This is
+      why classic LL exceeds BP in Figure 4 despite training one layer at
+      a time.
+    * ``"params-only"`` -- AAN-LL as measured in Figures 4-6: the model's
+      weights stay resident, but gradients/optimizer state exist only for
+      the unit being trained.
+    """
+    specs = model.local_layers()
+    if len(aux_heads) != len(specs):
+        raise ShapeError(
+            f"need one aux entry per layer: {len(aux_heads)} vs {len(specs)}"
+        )
+    if residency not in ("full", "params-only"):
+        raise ConfigError(f"unknown residency {residency!r}")
+    worst_act = 0
+    worst_workspace = 0
+    worst_unit_params = 0
+    total_workspace = 0
+    for spec, aux in zip(specs, aux_heads):
+        unit = local_unit_training_memory(spec, aux, batch_size, optimizer)
+        total_workspace += unit.workspace
+        if unit.activations + unit.workspace > worst_act + worst_workspace:
+            worst_act = unit.activations
+            worst_workspace = unit.workspace
+            worst_unit_params = unit.parameters
+    aux_params = sum(a.parameter_bytes() for a in aux_heads if a is not None)
+    model_params = model.parameter_bytes()
+    if residency == "full":
+        # Classic LL executes every layer each step: all workspaces pooled,
+        # all parameter/gradient/optimizer state resident.
+        params = model_params + aux_params
+        grads = params
+        opt = optimizer_state_bytes(params, optimizer)
+        workspace = total_workspace
+    else:
+        # AAN-LL measurement: weights resident, one unit active at a time.
+        params = model_params + aux_params
+        grads = worst_unit_params
+        opt = optimizer_state_bytes(worst_unit_params, optimizer)
+        workspace = worst_workspace
+    return MemoryBreakdown(
+        activations=worst_act,
+        parameters=params,
+        gradients=grads,
+        optimizer=opt,
+        workspace=workspace,
+    )

@@ -1,0 +1,26 @@
+"""CNN model zoo: VGG-11/13/16/19, ResNet-18, MobileNet.
+
+Every model is a :class:`repro.models.base.ConvNet`, exposing both the
+end-to-end forward/backward used by the BP baseline and the
+``local_layers()`` decomposition used by local learning and NeuroFlux.
+"""
+
+from repro.models.base import ConvNet, scale_width
+from repro.models.layers import LayerSpec
+from repro.models.mobilenet import MobileNet
+from repro.models.resnet import BasicBlock, ResNet
+from repro.models.vgg import VGG, VGG_CONFIGS
+from repro.models.zoo import build_model, list_models
+
+__all__ = [
+    "BasicBlock",
+    "ConvNet",
+    "LayerSpec",
+    "MobileNet",
+    "ResNet",
+    "VGG",
+    "VGG_CONFIGS",
+    "build_model",
+    "list_models",
+    "scale_width",
+]

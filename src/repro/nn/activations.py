@@ -1,0 +1,70 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit; caches the activation mask for backward."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.maximum(x, 0)
+        self._mask = (x > 0) if self.training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("backward called before training-mode forward")
+        dx = grad_out * self._mask
+        self._mask = None
+        return dx
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mask = x > 0
+        out = np.where(mask, x, self.negative_slope * x)
+        self._mask = mask if self.training else None
+        return out.astype(x.dtype, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("backward called before training-mode forward")
+        dx = np.where(self._mask, grad_out, self.negative_slope * grad_out)
+        self._mask = None
+        return dx.astype(grad_out.dtype, copy=False)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent; caches the output."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.tanh(x)
+        self._out = out if self.training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise ShapeError("backward called before training-mode forward")
+        dx = grad_out * (1.0 - self._out * self._out)
+        self._out = None
+        return dx

@@ -1,0 +1,171 @@
+"""Convolution layers (dense and depthwise), im2col-based.
+
+``Conv2d`` also implements the Feedback Alignment variant used by the FA
+baseline of Figure 3: when ``feedback`` weights are attached, the *input*
+gradient is computed with a fixed random matrix instead of the transposed
+forward weights, while the weight gradient stays exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import init as nn_init
+from repro.nn.functional import col2im, conv_output_hw, im2col, pad2d, sliding_windows
+from repro.nn.module import Module, Parameter
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs with square kernels.
+
+    Caches the im2col matrix of its input during training-mode forward so
+    the backward pass costs one matmul per gradient; inference-mode forward
+    drops the cache (this distinction is what the memory estimator models).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        dtype=np.float32,
+    ):
+        super().__init__()
+        if in_channels < 1 or out_channels < 1:
+            raise ShapeError("channel counts must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = rng if rng is not None else np.random.default_rng(0)
+        wshape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(nn_init.kaiming_normal(rng, wshape, dtype), "weight")
+        self.bias = Parameter(nn_init.zeros((out_channels,), dtype), "bias") if bias else None
+        # Feedback Alignment: fixed random backward weights (None => exact BP).
+        self.feedback: np.ndarray | None = None
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def enable_feedback_alignment(self, rng: np.random.Generator) -> None:
+        """Attach fixed random feedback weights (FA baseline)."""
+        self.feedback = nn_init.kaiming_normal(
+            rng, self.weight.data.shape, self.weight.data.dtype
+        )
+
+    def output_hw(self, in_hw: tuple[int, int]) -> tuple[int, int]:
+        return conv_output_hw(in_hw, self.kernel_size, self.stride, self.padding)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        cols, (out_h, out_w) = im2col(x, self.kernel_size, self.stride, self.padding)
+        wmat = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ wmat.T
+        if self.bias is not None:
+            out += self.bias.data
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if self.training:
+            self._cols = cols
+            self._x_shape = x.shape
+            self._out_hw = (out_h, out_w)
+        else:
+            self._cols = None
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None or self._out_hw is None:
+            raise ShapeError("backward called before training-mode forward")
+        n = grad_out.shape[0]
+        out_h, out_w = self._out_hw
+        dmat = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
+        self.weight.grad += (dmat.T @ self._cols).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += dmat.sum(axis=0)
+        back_w = self.feedback if self.feedback is not None else self.weight.data
+        dcols = dmat @ back_w.reshape(self.out_channels, -1)
+        dx = col2im(
+            dcols, self._x_shape, self.kernel_size, self.stride, self.padding, self._out_hw
+        )
+        self._cols = None
+        return dx
+
+
+class DepthwiseConv2d(Module):
+    """Per-channel (depthwise) convolution, the MobileNet building block."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        dtype=np.float32,
+    ):
+        super().__init__()
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = rng if rng is not None else np.random.default_rng(0)
+        # Shape (C, k, k); each channel has its own kernel.  fan_in = k*k.
+        std = np.sqrt(2.0 / (kernel_size * kernel_size))
+        self.weight = Parameter(
+            rng.normal(0.0, std, size=(channels, kernel_size, kernel_size)).astype(dtype),
+            "weight",
+        )
+        self.bias = Parameter(nn_init.zeros((channels,), dtype), "bias") if bias else None
+        self._win: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def output_hw(self, in_hw: tuple[int, int]) -> tuple[int, int]:
+        return conv_output_hw(in_hw, self.kernel_size, self.stride, self.padding)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ShapeError(f"expected (N, {self.channels}, H, W), got {x.shape}")
+        xp = pad2d(x, self.padding)
+        win = sliding_windows(xp, self.kernel_size, self.stride)
+        out = np.einsum("nchwij,cij->nchw", win, self.weight.data, optimize=True)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None, None]
+        if self.training:
+            self._win = np.ascontiguousarray(win)
+            self._x_shape = x.shape
+            self._out_hw = (out.shape[2], out.shape[3])
+        else:
+            self._win = None
+        return out.astype(x.dtype, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._win is None or self._x_shape is None or self._out_hw is None:
+            raise ShapeError("backward called before training-mode forward")
+        self.weight.grad += np.einsum(
+            "nchw,nchwij->cij", grad_out, self._win, optimize=True
+        )
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=(0, 2, 3))
+        n, c, h, w = self._x_shape
+        out_h, out_w = self._out_hw
+        k, s, p = self.kernel_size, self.stride, self.padding
+        dwin = np.einsum("nchw,cij->nchwij", grad_out, self.weight.data, optimize=True)
+        dxp = np.zeros((n, c, h + 2 * p, w + 2 * p), dtype=grad_out.dtype)
+        for i in range(k):
+            for j in range(k):
+                dxp[:, :, i : i + s * out_h : s, j : j + s * out_w : s] += dwin[:, :, :, :, i, j]
+        self._win = None
+        if p == 0:
+            return dxp
+        return dxp[:, :, p : p + h, p : p + w]

@@ -1,0 +1,27 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Collapse all non-batch dimensions to one."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape if self.training else None
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise ShapeError("backward called before training-mode forward")
+        dx = grad_out.reshape(self._x_shape)
+        self._x_shape = None
+        return dx

@@ -1,0 +1,123 @@
+"""Array-level primitives shared by the nn modules.
+
+The convolution layers use the classic im2col/col2im lowering: convolution
+becomes one large matrix multiply, which is the fastest formulation available
+to a pure-numpy substrate.  ``im2col`` extracts sliding windows with stride
+tricks (zero-copy until the final reshape) and ``col2im`` is its exact
+adjoint, verified by property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def conv_output_hw(
+    in_hw: tuple[int, int], kernel: int, stride: int, padding: int
+) -> tuple[int, int]:
+    """Spatial output size of a conv/pool with square kernel."""
+    h, w = in_hw
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ShapeError(
+            f"kernel {kernel} stride {stride} padding {padding} does not fit "
+            f"input {in_hw}"
+        )
+    return out_h, out_w
+
+
+def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) axes of an NCHW array."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def sliding_windows(
+    x: np.ndarray, kernel: int, stride: int
+) -> np.ndarray:
+    """View of shape (N, C, out_h, out_w, kernel, kernel) over an NCHW array.
+
+    The result is a zero-copy strided view; callers must not write to it.
+    """
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ShapeError(f"kernel {kernel} stride {stride} does not fit {x.shape}")
+    sn, sc, sh, sw = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Lower an NCHW batch to a (N*out_h*out_w, C*k*k) matrix.
+
+    Returns the column matrix and the spatial output size.
+    """
+    xp = pad2d(x, padding)
+    win = sliding_windows(xp, kernel, stride)
+    n, c, out_h, out_w, _, _ = win.shape
+    cols = win.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel * kernel)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    dcols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_hw: tuple[int, int],
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add column gradients back to NCHW."""
+    n, c, h, w = x_shape
+    out_h, out_w = out_hw
+    hp, wp = h + 2 * padding, w + 2 * padding
+    dwin = dcols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    dxp = np.zeros((n, c, hp, wp), dtype=dcols.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            dxp[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += dwin[
+                :, :, i, j
+            ]
+    if padding == 0:
+        return dxp
+    return dxp[:, :, padding : padding + h, padding : padding + w]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """One-hot encode an int label vector as (N, num_classes)."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ShapeError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()} max={labels.max()}"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1
+    return out

@@ -1,0 +1,53 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that model
+construction is fully deterministic given a seed (see ``repro.utils.rng``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # linear: (out, in)
+        return shape[1], shape[0]
+    if len(shape) == 4:  # conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(
+    rng: np.random.Generator, shape: tuple[int, ...], dtype=np.float32
+) -> np.ndarray:
+    """He-normal init (gain for ReLU), fan-in mode."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def kaiming_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], dtype=np.float32
+) -> np.ndarray:
+    """He-uniform init, fan-in mode."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], dtype=np.float32
+) -> np.ndarray:
+    """Glorot-uniform init."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def zeros(shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    return np.ones(shape, dtype=dtype)

@@ -1,0 +1,75 @@
+"""Loss functions.
+
+Losses follow the same explicit forward/backward contract as modules:
+``forward(predictions, targets)`` returns the scalar loss and caches what
+``backward()`` needs to return the gradient with respect to predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels (mean reduction)."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be (N, C), got {logits.shape}")
+        targets = np.asarray(targets)
+        if targets.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"targets must be (N,)={logits.shape[0]}, got {targets.shape}"
+            )
+        logp = log_softmax(logits, axis=1)
+        loss = -logp[np.arange(logits.shape[0]), targets].mean()
+        self._probs = softmax(logits, axis=1)
+        self._targets = targets
+        return float(loss)
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise ShapeError("backward called before forward")
+        n, c = self._probs.shape
+        grad = self._probs - one_hot(self._targets, c, dtype=self._probs.dtype)
+        grad /= n
+        self._probs = None
+        self._targets = None
+        return grad
+
+
+class MSELoss:
+    """Mean squared error against dense targets (mean reduction)."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.shape != targets.shape:
+            raise ShapeError(
+                f"shape mismatch: predictions {predictions.shape} vs targets "
+                f"{targets.shape}"
+            )
+        diff = predictions - targets
+        self._diff = diff
+        return float(np.mean(diff * diff))
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise ShapeError("backward called before forward")
+        grad = (2.0 / self._diff.size) * self._diff
+        self._diff = None
+        return grad

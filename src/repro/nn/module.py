@@ -1,0 +1,188 @@
+"""Module and Parameter abstractions.
+
+The framework is deliberately simpler than a full autograd: every ``Module``
+implements an explicit ``forward`` that caches what its ``backward`` needs,
+and ``backward`` consumes the cache, accumulates parameter gradients, and
+returns the gradient with respect to its input.  This is exactly the
+granularity local learning operates at -- one trainable stage at a time --
+and it keeps the memory accounting transparent (a design goal of the
+NeuroFlux reproduction: retained tensors are explicit attributes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient buffer."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.ascontiguousarray(data)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement ``forward(x)`` and ``backward(grad_out)``.  Child
+    modules and parameters are discovered by walking instance attributes, so
+    composition is plain attribute assignment (or lists of modules).
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- computation ------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- traversal --------------------------------------------------------
+    def children(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield self and every descendant module, depth-first."""
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for module in self.modules():
+            for value in module.__dict__.values():
+                if isinstance(value, Parameter):
+                    params.append(value)
+        return params
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        out: list[tuple[str, Parameter]] = []
+        for attr, value in self.__dict__.items():
+            path = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                out.append((path, value))
+            elif isinstance(value, Module):
+                out.extend(value.named_parameters(prefix=path + "."))
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        out.extend(item.named_parameters(prefix=f"{path}.{i}."))
+        return out
+
+    # -- convenience ------------------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def parameter_bytes(self) -> int:
+        return sum(p.nbytes for p in self.parameters())
+
+    # -- (de)serialization -------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ShapeError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            value = state[name]
+            if value.shape != p.data.shape:
+                raise ShapeError(
+                    f"parameter {name!r}: expected shape {p.data.shape}, "
+                    f"got {value.shape}"
+                )
+            p.data[...] = value
+
+
+class Identity(Module):
+    """Pass-through module (used as a disabled shortcut/normalization slot)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs in reverse."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def append(self, layer: Module) -> None:
+        self.layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out

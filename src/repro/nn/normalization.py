@@ -1,0 +1,80 @@
+"""Batch normalization over NCHW feature maps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Standard batch norm with running statistics for inference.
+
+    Training-mode forward caches the normalized activations ``xhat`` and the
+    batch inverse std; the memory estimator counts both (this mirrors what a
+    CUDA autograd engine retains for the BN backward).
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        eps: float = 1e-5,
+        momentum: float = 0.1,
+        dtype=np.float32,
+    ):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.gamma = Parameter(np.ones(num_features, dtype=dtype), "gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=dtype), "beta")
+        self.running_mean = np.zeros(num_features, dtype=dtype)
+        self.running_var = np.ones(num_features, dtype=dtype)
+        self._xhat: np.ndarray | None = None
+        self._inv_std: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ShapeError(f"expected (N, {self.num_features}, H, W), got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(self.running_mean.dtype)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(self.running_var.dtype)
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            xhat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+            self._xhat = xhat
+            self._inv_std = inv_std
+        else:
+            inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+            xhat = (x - self.running_mean[None, :, None, None]) * inv_std[
+                None, :, None, None
+            ]
+            self._xhat = None
+        out = self.gamma.data[None, :, None, None] * xhat + self.beta.data[None, :, None, None]
+        return out.astype(x.dtype, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._xhat is None or self._inv_std is None:
+            raise ShapeError("backward called before training-mode forward")
+        xhat, inv_std = self._xhat, self._inv_std
+        m = grad_out.shape[0] * grad_out.shape[2] * grad_out.shape[3]
+        dgamma = (grad_out * xhat).sum(axis=(0, 2, 3))
+        dbeta = grad_out.sum(axis=(0, 2, 3))
+        self.gamma.grad += dgamma
+        self.beta.grad += dbeta
+        g = self.gamma.data[None, :, None, None]
+        dxhat = grad_out * g
+        dx = (
+            dxhat
+            - dxhat.mean(axis=(0, 2, 3), keepdims=True)
+            - xhat * (dxhat * xhat).sum(axis=(0, 2, 3), keepdims=True) / m
+        ) * inv_std[None, :, None, None]
+        self._xhat = None
+        self._inv_std = None
+        return dx.astype(grad_out.dtype, copy=False)

@@ -1,0 +1,134 @@
+"""Optimizers: SGD (with momentum / Nesterov / weight decay) and Adam.
+
+``state_bytes()`` reports the optimizer's own memory footprint (momentum
+and moment buffers), which the memory estimator adds to the training
+footprint -- the "Optimizer" band of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class: owns a parameter list and a learning rate."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_bytes(self) -> int:
+        """Bytes of optimizer state (excluding the parameters themselves)."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ConfigError("nesterov requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray] | None = None
+        if momentum > 0.0:
+            self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self._velocity is not None:
+                v = self._velocity[i]
+                v *= self.momentum
+                v += grad
+                update = grad + self.momentum * v if self.nesterov else v
+            else:
+                update = grad
+            p.data -= self.lr * update
+
+    def state_bytes(self) -> int:
+        if self._velocity is None:
+            return 0
+        return sum(v.nbytes for v in self._velocity)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ConfigError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (float(b1), float(b2))
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for i, p in enumerate(self.params):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m, v = self._m[i], self._v[i]
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            mhat = m / bias1
+            vhat = v / bias2
+            p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def state_bytes(self) -> int:
+        return sum(m.nbytes for m in self._m) + sum(v.nbytes for v in self._v)
+
+
+def make_optimizer(name: str, params: list[Parameter], lr: float, **kwargs) -> Optimizer:
+    """Build an optimizer by name ('sgd', 'sgd-momentum', 'adam')."""
+    name = name.lower()
+    if name == "sgd":
+        return SGD(params, lr=lr, **kwargs)
+    if name == "sgd-momentum":
+        kwargs.setdefault("momentum", 0.9)
+        return SGD(params, lr=lr, **kwargs)
+    if name == "adam":
+        return Adam(params, lr=lr, **kwargs)
+    raise ConfigError(f"unknown optimizer {name!r}")

@@ -1,0 +1,152 @@
+"""Pooling layers: max, average, and adaptive average (global) pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.functional import conv_output_hw, sliding_windows
+from repro.nn.module import Module
+
+
+def _scatter_windows(
+    dwin: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Scatter-add per-window gradients (N,C,oh,ow,k,k) back onto the input."""
+    n, c, h, w = x_shape
+    out_h, out_w = dwin.shape[2], dwin.shape[3]
+    dx = np.zeros((n, c, h, w), dtype=dwin.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            dx[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += dwin[
+                :, :, :, :, i, j
+            ]
+    return dx
+
+
+class MaxPool2d(Module):
+    """Max pooling with square windows (no padding, floor semantics)."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def output_hw(self, in_hw: tuple[int, int]) -> tuple[int, int]:
+        return conv_output_hw(in_hw, self.kernel_size, self.stride, 0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        win = sliding_windows(x, self.kernel_size, self.stride)
+        n, c, oh, ow, k, _ = win.shape
+        flat = win.reshape(n, c, oh, ow, k * k)
+        idx = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+        if self.training:
+            self._argmax = idx
+            self._x_shape = x.shape
+        else:
+            self._argmax = None
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None:
+            raise ShapeError("backward called before training-mode forward")
+        k = self.kernel_size
+        n, c, oh, ow = grad_out.shape
+        dflat = np.zeros((n, c, oh, ow, k * k), dtype=grad_out.dtype)
+        np.put_along_axis(dflat, self._argmax[..., None], grad_out[..., None], axis=-1)
+        dwin = dflat.reshape(n, c, oh, ow, k, k)
+        dx = _scatter_windows(dwin, self._x_shape, k, self.stride)
+        self._argmax = None
+        return dx
+
+
+class AvgPool2d(Module):
+    """Average pooling with square windows (no padding, floor semantics)."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def output_hw(self, in_hw: tuple[int, int]) -> tuple[int, int]:
+        return conv_output_hw(in_hw, self.kernel_size, self.stride, 0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        win = sliding_windows(x, self.kernel_size, self.stride)
+        out = win.mean(axis=(-1, -2))
+        self._x_shape = x.shape if self.training else None
+        return np.ascontiguousarray(out.astype(x.dtype, copy=False))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise ShapeError("backward called before training-mode forward")
+        k = self.kernel_size
+        share = grad_out / (k * k)
+        dwin = np.broadcast_to(share[..., None, None], grad_out.shape + (k, k))
+        dx = _scatter_windows(np.ascontiguousarray(dwin), self._x_shape, k, self.stride)
+        self._x_shape = None
+        return dx
+
+
+class AdaptiveAvgPool2d(Module):
+    """Average pooling to a fixed output grid, PyTorch bin semantics.
+
+    Bin edges are ``floor(i * H / out)``; handles inputs that are not exact
+    multiples of the output size.  ``output_size=1`` is global average
+    pooling (the classifier heads use this).
+    """
+
+    def __init__(self, output_size: int):
+        super().__init__()
+        if output_size < 1:
+            raise ShapeError("output_size must be >= 1")
+        self.output_size = output_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def output_hw(self, in_hw: tuple[int, int]) -> tuple[int, int]:
+        return (self.output_size, self.output_size)
+
+    def _edges(self, size: int) -> np.ndarray:
+        return (np.arange(self.output_size + 1) * size) // self.output_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if h < self.output_size or w < self.output_size:
+            raise ShapeError(
+                f"input spatial {h}x{w} smaller than output {self.output_size}"
+            )
+        eh, ew = self._edges(h), self._edges(w)
+        # reduceat sums over [edge_i, edge_{i+1}) slices along each axis.
+        summed_h = np.add.reduceat(x, eh[:-1], axis=2)
+        summed = np.add.reduceat(summed_h, ew[:-1], axis=3)
+        counts = np.outer(np.diff(eh), np.diff(ew)).astype(x.dtype)
+        out = summed / counts[None, None, :, :]
+        self._x_shape = x.shape if self.training else None
+        return out.astype(x.dtype, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise ShapeError("backward called before training-mode forward")
+        n, c, h, w = self._x_shape
+        eh, ew = self._edges(h), self._edges(w)
+        hw_counts = np.outer(np.diff(eh), np.diff(ew)).astype(grad_out.dtype)
+        share = grad_out / hw_counts[None, None, :, :]
+        # Expand each bin's share across its rows/cols.
+        dx = np.repeat(share, np.diff(eh), axis=2)
+        dx = np.repeat(dx, np.diff(ew), axis=3)
+        self._x_shape = None
+        return np.ascontiguousarray(dx)
+
+
+class GlobalAvgPool2d(AdaptiveAvgPool2d):
+    """Global average pooling (adaptive pooling to 1x1)."""
+
+    def __init__(self) -> None:
+        super().__init__(output_size=1)

@@ -1,0 +1,83 @@
+"""Learning-rate schedules.
+
+Appendix B's convergence analysis assumes a Robbins-Monro step-size
+schedule (sum eta_t = inf, sum eta_t^2 < inf); these schedulers provide
+the standard decaying schedules, and the convergence tests check them with
+:func:`repro.core.convergence.robbins_monro_satisfied`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: mutates ``optimizer.lr`` on each ``step()``."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.lr_at(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def schedule(self, epochs: int) -> list[float]:
+        """The learning rate at each of the next ``epochs`` epochs."""
+        return [self.lr_at(e) for e in range(1, epochs + 1)]
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ConfigError("step_size must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ConfigError("gamma must be in (0, 1]")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        if t_max < 1:
+            raise ConfigError("t_max must be >= 1")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def lr_at(self, epoch: int) -> float:
+        t = min(epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * t / self.t_max)
+        )
+
+
+class InverseTimeLR(LRScheduler):
+    """``lr = base / (1 + decay * epoch)`` -- a Robbins-Monro schedule."""
+
+    def __init__(self, optimizer: Optimizer, decay: float = 1.0):
+        if decay <= 0:
+            raise ConfigError("decay must be positive")
+        super().__init__(optimizer)
+        self.decay = decay
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr / (1.0 + self.decay * epoch)

@@ -1,0 +1,36 @@
+"""Training paradigms the paper compares against (Sections 2.3 and 6).
+
+* :class:`BackpropTrainer` -- vanilla BP, the primary baseline.
+* :class:`LocalLearningTrainer` -- classic LL with 256-filter aux heads.
+* :class:`FeedbackAlignmentTrainer` -- FA (Figure 3 quadrant).
+* :class:`SignalPropagationTrainer` -- SP (Figure 3 quadrant).
+* :class:`GradientCheckpointTrainer` -- checkpointed BP (Section 7).
+* :class:`MicrobatchTrainer` -- gradient accumulation (Section 7).
+
+NeuroFlux itself lives in :mod:`repro.core`.
+"""
+
+from repro.training.backprop import BackpropTrainer, max_feasible_batch
+from repro.training.checkpointing import (
+    GradientCheckpointTrainer,
+    checkpointed_training_memory,
+)
+from repro.training.common import HistoryPoint, TrainResult, evaluate_classifier
+from repro.training.feedback_alignment import FeedbackAlignmentTrainer
+from repro.training.local import LocalLearningTrainer
+from repro.training.microbatch import MicrobatchTrainer
+from repro.training.signal_prop import SignalPropagationTrainer
+
+__all__ = [
+    "BackpropTrainer",
+    "FeedbackAlignmentTrainer",
+    "GradientCheckpointTrainer",
+    "HistoryPoint",
+    "LocalLearningTrainer",
+    "MicrobatchTrainer",
+    "SignalPropagationTrainer",
+    "TrainResult",
+    "checkpointed_training_memory",
+    "evaluate_classifier",
+    "max_feasible_batch",
+]

@@ -1,0 +1,94 @@
+"""Shared training infrastructure: evaluation, history, results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.simulator import TimeLedger
+
+
+@dataclass
+class HistoryPoint:
+    """One evaluation checkpoint along a training run."""
+
+    sim_time_s: float
+    epoch: float
+    accuracy: float
+    loss: float = float("nan")
+    split: str = "val"
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run, comparable across methods.
+
+    ``sim_time_s`` is simulated wall-clock on the target platform (see
+    :mod:`repro.hw.simulator`); ``peak_memory_bytes`` is the simulated GPU
+    high-water mark.
+    """
+
+    method: str
+    model_name: str
+    dataset_name: str
+    platform_name: str
+    history: list[HistoryPoint] = field(default_factory=list)
+    final_accuracy: float = float("nan")
+    sim_time_s: float = 0.0
+    peak_memory_bytes: int = 0
+    batch_size: int = 0
+    epochs: int = 0
+    num_parameters: int = 0
+    ledger: TimeLedger = field(default_factory=TimeLedger)
+    extras: dict = field(default_factory=dict)
+
+    def accuracy_at_time(self, t: float) -> float:
+        """Best evaluated accuracy achieved within simulated time ``t``."""
+        best = 0.0
+        for point in self.history:
+            if point.sim_time_s <= t:
+                best = max(best, point.accuracy)
+        return best
+
+
+def evaluate_classifier(
+    forward_fn,
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int = 256,
+) -> float:
+    """Top-1 accuracy of ``forward_fn`` (logits) over ``(x, y)``."""
+    correct = 0
+    for start in range(0, len(x), batch_size):
+        xb = x[start : start + batch_size]
+        yb = y[start : start + batch_size]
+        logits = forward_fn(xb)
+        correct += int((np.argmax(logits, axis=1) == yb).sum())
+    return correct / len(x) if len(x) else float("nan")
+
+
+def count_module_kernels(module) -> int:
+    """Number of atomic kernel dispatches in one forward of ``module``.
+
+    Used by the execution simulator to charge per-kernel launch overhead.
+    """
+    from repro.nn.module import Sequential
+
+    hook = getattr(module, "count_kernels", None)
+    if hook is not None:
+        return hook()
+    if isinstance(module, Sequential):
+        return sum(count_module_kernels(child) for child in module)
+    n_children = sum(1 for _ in module.children())
+    if n_children:
+        return sum(count_module_kernels(c) for c in module.children()) + 1
+    return 1
+
+
+def model_kernel_count(model) -> int:
+    """Kernel dispatches for one end-to-end forward of a ConvNet."""
+    total = sum(count_module_kernels(stage) for stage in model.stages)
+    if model.head is not None:
+        total += count_module_kernels(model.head)
+    return total

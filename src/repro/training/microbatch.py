@@ -1,0 +1,139 @@
+"""Microbatching baseline (paper Section 7, related work).
+
+Splits each logical batch into micro-batches that fit the memory budget
+and accumulates gradients before stepping.  Memory follows the micro-batch
+size; step count (and per-batch overhead) follows the micro-batch count --
+the paper's criticism: memory-efficient but slow, with tuning burden.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import SyntheticImageDataset
+from repro.data.loader import DataLoader
+from repro.errors import ConfigError
+from repro.flops.count import model_forward_flops, training_step_flops
+from repro.hw.platforms import AGX_ORIN, Platform
+from repro.hw.simulator import ExecutionSimulator
+from repro.memory.estimator import bp_training_memory
+from repro.memory.tracker import SimulatedGpu
+from repro.models.base import ConvNet
+from repro.nn import CrossEntropyLoss, make_optimizer
+from repro.training.backprop import DEFAULT_BATCH_LIMIT, max_feasible_batch
+from repro.training.common import (
+    HistoryPoint,
+    TrainResult,
+    evaluate_classifier,
+    model_kernel_count,
+)
+from repro.utils.rng import spawn_rng
+
+
+class MicrobatchTrainer:
+    """BP with gradient accumulation over budget-sized micro-batches."""
+
+    method = "microbatching"
+
+    def __init__(
+        self,
+        model: ConvNet,
+        data: SyntheticImageDataset,
+        platform: Platform = AGX_ORIN,
+        memory_budget: int | None = None,
+        logical_batch: int = 64,
+        optimizer: str = "sgd-momentum",
+        lr: float = 0.05,
+        backward_multiplier: float = 2.0,
+        seed: int = 0,
+    ):
+        if logical_batch < 1:
+            raise ConfigError("logical_batch must be >= 1")
+        self.model = model
+        self.data = data
+        self.platform = platform
+        self.memory_budget = memory_budget
+        self.logical_batch = logical_batch
+        self.optimizer_name = optimizer
+        self.lr = lr
+        self.backward_multiplier = backward_multiplier
+        self.seed = seed
+
+    def memory_at_batch(self, micro_batch: int) -> int:
+        return bp_training_memory(self.model, micro_batch, self.optimizer_name).total
+
+    def micro_batch_size(self) -> int:
+        """Largest micro-batch that fits the budget (capped at logical)."""
+        return max_feasible_batch(
+            self.memory_at_batch, self.memory_budget, self.logical_batch
+        )
+
+    def train(self, epochs: int) -> TrainResult:
+        if epochs < 1:
+            raise ConfigError("epochs must be >= 1")
+        micro = self.micro_batch_size()
+        peak_bytes = self.memory_at_batch(micro)
+        gpu = SimulatedGpu(budget_bytes=self.memory_budget)
+        handle = gpu.alloc(peak_bytes, "microbatch-step")
+        gpu.free(handle)
+
+        sim = ExecutionSimulator(self.platform)
+        loss_fn = CrossEntropyLoss()
+        opt = make_optimizer(self.optimizer_name, self.model.parameters(), lr=self.lr)
+        loader = DataLoader(
+            self.data.x_train,
+            self.data.y_train,
+            self.logical_batch,
+            shuffle=True,
+            rng=spawn_rng(self.seed, "micro/loader"),
+        )
+        step_flops = training_step_flops(
+            model_forward_flops(self.model, 1), self.backward_multiplier
+        )
+        n_kernels = model_kernel_count(self.model)
+        sample_bytes = self.data.spec.sample_bytes
+
+        result = TrainResult(
+            method=self.method,
+            model_name=self.model.name,
+            dataset_name=self.data.spec.name,
+            platform_name=self.platform.name,
+            batch_size=micro,
+            epochs=epochs,
+            peak_memory_bytes=gpu.peak,
+            num_parameters=self.model.num_parameters(),
+            extras={"logical_batch": self.logical_batch},
+        )
+        self.model.train()
+        for epoch in range(epochs):
+            for xb, yb in loader:
+                self.model.zero_grad()
+                n_micro = -(-len(xb) // micro)
+                loss = float("nan")
+                for start in range(0, len(xb), micro):
+                    xm = xb[start : start + micro]
+                    ym = yb[start : start + micro]
+                    logits = self.model.forward(xm)
+                    loss = loss_fn(logits, ym)
+                    grad = loss_fn.backward() * (len(xm) / len(xb))
+                    self.model.backward(grad)
+                    # Every micro-batch is a separate load + kernel pass.
+                    sim.add_training_step(
+                        step_flops * len(xm), sample_bytes * len(xm), n_kernels
+                    )
+                opt.step()
+            self.model.eval()
+            val_acc = evaluate_classifier(
+                self.model.forward, self.data.x_val, self.data.y_val
+            )
+            self.model.train()
+            result.history.append(
+                HistoryPoint(sim.elapsed, epoch + 1, val_acc, loss, "val")
+            )
+        self.model.eval()
+        result.final_accuracy = evaluate_classifier(
+            self.model.forward, self.data.x_test, self.data.y_test
+        )
+        result.sim_time_s = sim.elapsed
+        result.ledger = sim.ledger
+        return result

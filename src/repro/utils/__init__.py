@@ -1,0 +1,5 @@
+"""Small shared utilities: deterministic RNG spawning and serialization."""
+
+from repro.utils.rng import spawn_rng
+
+__all__ = ["spawn_rng"]

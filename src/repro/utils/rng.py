@@ -1,0 +1,28 @@
+"""Deterministic random-number-generator derivation.
+
+All stochastic components of the library (weight init, dataset synthesis,
+shuffling) receive a ``numpy.random.Generator``.  ``spawn_rng`` derives
+independent, reproducible generators from a root seed and a sequence of
+string keys, so two components never share a stream by accident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def spawn_rng(seed: int, *keys: str) -> np.random.Generator:
+    """Return a Generator derived deterministically from ``seed`` and ``keys``.
+
+    The same ``(seed, keys)`` pair always yields an identical stream, and
+    distinct key paths yield statistically independent streams.
+    """
+    h = hashlib.sha256()
+    h.update(str(int(seed)).encode())
+    for key in keys:
+        h.update(b"/")
+        h.update(key.encode())
+    digest = int.from_bytes(h.digest()[:8], "little")
+    return np.random.default_rng(digest)

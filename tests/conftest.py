@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.registry import dataset_spec
+from repro.models.zoo import build_model
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 4-class 16x16 dataset small enough for real training in tests."""
+    from dataclasses import replace
+
+    spec = dataset_spec(
+        "cifar10", num_classes=4, image_hw=(16, 16), noise_std=0.4, seed=7
+    )
+    spec = replace(spec, n_train=240, n_val=60, n_test=60)
+    return spec.materialize()
+
+
+@pytest.fixture()
+def small_vgg():
+    return build_model(
+        "vgg11", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=3
+    )
+
+
+@pytest.fixture()
+def small_resnet():
+    return build_model(
+        "resnet18", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=3
+    )
+
+
+@pytest.fixture()
+def small_mobilenet():
+    return build_model(
+        "mobilenet", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=3
+    )

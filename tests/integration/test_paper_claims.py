@@ -1,0 +1,190 @@
+"""End-to-end integration tests of the paper's headline claims.
+
+Each test exercises multiple subsystems together (models + memory + hw +
+core + training) and asserts a claim from the evaluation section at
+reproduction scale.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import NeuroFlux, NeuroFluxConfig
+from repro.data.registry import dataset_spec
+from repro.errors import MemoryBudgetExceeded
+from repro.evalsim.training_time import (
+    simulate_bp,
+    simulate_classic_ll,
+    simulate_neuroflux,
+    try_simulate,
+)
+from repro.hw import AGX_ORIN
+from repro.models import build_model
+from repro.training import BackpropTrainer, LocalLearningTrainer
+
+MB = 2**20
+
+
+def _small(seed=0):
+    return build_model(
+        "vgg11", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=seed
+    )
+
+
+class TestClaimTrainingUnderImpossibleBudgets:
+    """Observation 1/2: NeuroFlux trains where BP and classic LL OOM."""
+
+    def test_real_run_under_budget_that_ooms_baselines(self, tiny_dataset):
+        model = _small()
+        bp_floor = BackpropTrainer(model, tiny_dataset).memory_at_batch(1)
+        budget = int(bp_floor * 0.6)
+
+        with pytest.raises(MemoryBudgetExceeded):
+            BackpropTrainer(_small(), tiny_dataset, memory_budget=budget).train(1)
+        with pytest.raises(MemoryBudgetExceeded):
+            LocalLearningTrainer(_small(), tiny_dataset, memory_budget=budget).train(1)
+
+        report = NeuroFlux(
+            _small(), tiny_dataset, memory_budget=budget,
+            config=NeuroFluxConfig(batch_limit=32),
+        ).run(epochs=3)
+        assert report.exit_test_accuracy > 0.45
+        assert report.result.peak_memory_bytes <= budget + 512
+
+
+class TestClaimSpeedups:
+    """Fig 11 speedup ranges at paper scale (simulated time)."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        spec = dataset_spec("cifar10")
+        model = build_model("vgg16", num_classes=10)
+        out = {}
+        for budget_mb in (300, 500):
+            budget = budget_mb * MB
+            out[budget_mb] = (
+                try_simulate(simulate_bp, model, spec, AGX_ORIN, 50, memory_budget=budget),
+                try_simulate(simulate_classic_ll, model, spec, AGX_ORIN, 50, memory_budget=budget),
+                try_simulate(simulate_neuroflux, model, spec, AGX_ORIN, 50, memory_budget=budget),
+            )
+        return out
+
+    def test_neuroflux_beats_bp_everywhere_it_runs(self, grid):
+        for budget_mb, (bp, ll, nf) in grid.items():
+            assert nf is not None
+            if bp is not None:
+                assert bp.time_s / nf.time_s > 1.0, f"budget {budget_mb}"
+
+    def test_neuroflux_beats_classic_ll_by_more(self, grid):
+        for budget_mb, (bp, ll, nf) in grid.items():
+            if bp is not None and ll is not None:
+                assert ll.time_s / nf.time_s > bp.time_s / nf.time_s
+
+    def test_speedup_grows_as_budget_tightens(self, grid):
+        bp300, _, nf300 = grid[300]
+        bp500, _, nf500 = grid[500]
+        assert bp300.time_s / nf300.time_s > bp500.time_s / nf500.time_s
+
+
+class TestClaimAccuracyParity:
+    """Fig 12 / Observation 3: comparable final accuracy, reached sooner."""
+
+    def test_final_accuracy_comparable_to_bp(self, tiny_dataset):
+        bp = BackpropTrainer(_small(), tiny_dataset, seed=3).train(epochs=5, batch_size=32)
+        nf = NeuroFlux(
+            _small(seed=3), tiny_dataset, memory_budget=16 * MB,
+            config=NeuroFluxConfig(batch_limit=32, seed=3),
+        ).run(epochs=5)
+        assert nf.exit_test_accuracy > bp.final_accuracy - 0.15
+
+    def test_reaches_peak_before_bp_under_budget(self, tiny_dataset):
+        budget = 8 * MB
+        bp = BackpropTrainer(_small(), tiny_dataset, memory_budget=budget, seed=4).train(epochs=4)
+        nf = NeuroFlux(
+            _small(seed=4), tiny_dataset, memory_budget=budget,
+            config=NeuroFluxConfig(batch_limit=64, seed=4),
+        ).run(epochs=4)
+        # Time at which each method first reaches 90% of its own peak.
+        def time_to_peak(history):
+            peak = max(p.accuracy for p in history)
+            for p in history:
+                if p.accuracy >= 0.9 * peak:
+                    return p.sim_time_s
+            return math.inf
+
+        assert time_to_peak(nf.result.history) < time_to_peak(bp.history)
+
+
+class TestClaimCompactOutputs:
+    """Table 2 / Fig 14: compact exits with real accuracy."""
+
+    @pytest.fixture(scope="class")
+    def report_and_system(self, tiny_dataset):
+        model = _small(seed=5)
+        nf = NeuroFlux(
+            model, tiny_dataset, memory_budget=16 * MB,
+            config=NeuroFluxConfig(batch_limit=32, seed=5),
+        )
+        return nf, nf.run(epochs=4)
+
+    def test_compression(self, report_and_system):
+        _, report = report_and_system
+        assert report.compression_factor > 2.0
+        assert report.exit_params < report.full_model_params
+
+    def test_exit_model_accuracy_matches_report(self, report_and_system, tiny_dataset):
+        nf, report = report_and_system
+        exit_model = nf.build_exit_model(report.exit_layer)
+        preds = exit_model.predict(tiny_dataset.x_test)
+        acc = float((preds == tiny_dataset.y_test).mean())
+        assert acc == pytest.approx(report.exit_test_accuracy, abs=1e-9)
+
+    def test_throughput_gain(self, report_and_system):
+        from repro.evalsim import (
+            convnet_throughput,
+            exit_model_throughput,
+            throughput_gain,
+        )
+
+        nf, report = report_and_system
+        exit_model = nf.build_exit_model(report.exit_layer)
+        full = convnet_throughput(nf.model, AGX_ORIN)
+        early = exit_model_throughput(exit_model, 3, (16, 16), AGX_ORIN)
+        assert throughput_gain(full, early) > 1.0
+
+
+class TestClaimOverheads:
+    """Section 6.4: overheads are small relative to the gains."""
+
+    def test_profiling_under_threshold(self, tiny_dataset):
+        report = NeuroFlux(
+            _small(seed=6), tiny_dataset, memory_budget=10 * MB,
+            config=NeuroFluxConfig(batch_limit=32, seed=6),
+        ).run(epochs=3)
+        assert report.profiling_overhead_fraction < 0.015
+
+    def test_cache_storage_bounded(self, tiny_dataset):
+        report = NeuroFlux(
+            _small(seed=7), tiny_dataset, memory_budget=10 * MB,
+            config=NeuroFluxConfig(batch_limit=32, seed=7),
+        ).run(epochs=3)
+        if len(report.blocks) > 1:
+            assert report.cache_overhead_ratio < 10.0
+
+
+class TestDeterminism:
+    """Identical seeds must yield identical results end to end."""
+
+    def test_neuroflux_runs_are_reproducible(self, tiny_dataset):
+        def run():
+            return NeuroFlux(
+                _small(seed=8), tiny_dataset, memory_budget=12 * MB,
+                config=NeuroFluxConfig(batch_limit=32, seed=8),
+            ).run(epochs=2)
+
+        a, b = run(), run()
+        assert a.exit_layer == b.exit_layer
+        assert a.exit_test_accuracy == pytest.approx(b.exit_test_accuracy)
+        assert a.result.sim_time_s == pytest.approx(b.result.sim_time_s)
+        np.testing.assert_allclose(a.layer_val_accuracies, b.layer_val_accuracies)

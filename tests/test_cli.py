@@ -1,0 +1,47 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_accepts_experiment(self):
+        args = build_parser().parse_args(["fig04"])
+        assert args.experiment == "fig04"
+
+    def test_fig11_filters(self):
+        args = build_parser().parse_args(
+            ["fig11", "--models", "vgg16", "--datasets", "cifar10"]
+        )
+        assert args.models == ["vgg16"]
+        assert args.datasets == ["cifar10"]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_analytic_experiment(self, capsys):
+        assert main(["fig04"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out
+        assert "classic_LL" in out
+
+    def test_fig11_with_filters(self, capsys):
+        assert main(["fig11", "--models", "vgg16", "--datasets", "cifar10"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out
+        assert "NF_speedup_vs_BP" in out
+
+    def test_every_registered_experiment_has_runner(self):
+        for key, (desc, runner) in EXPERIMENTS.items():
+            assert desc
+            assert callable(runner)

@@ -1,0 +1,99 @@
+"""Tests for auxiliary heads and the AAN filter rule."""
+
+import numpy as np
+import pytest
+
+from helpers import rand_image_batch
+from repro.core.auxiliary import (
+    CLASSIC_AUX_FILTERS,
+    AuxiliaryHead,
+    aux_filter_counts,
+    build_aux_heads,
+)
+from repro.errors import ConfigError
+from repro.models import build_model
+from repro.utils.rng import spawn_rng
+
+
+class TestAuxiliaryHead:
+    def test_forward_shape(self):
+        head = AuxiliaryHead(8, 16, 5, in_hw=(8, 8), rng=spawn_rng(0, "h"))
+        out = head.forward(rand_image_batch(3, 8, 8, 8, dtype=np.float32))
+        assert out.shape == (3, 5)
+
+    def test_backward_shape(self):
+        head = AuxiliaryHead(4, 8, 3, in_hw=(6, 6), rng=spawn_rng(1, "h"))
+        out = head.forward(rand_image_batch(2, 4, 6, 6, dtype=np.float32))
+        dx = head.backward(np.ones_like(out))
+        assert dx.shape == (2, 4, 6, 6)
+
+    def test_pool_clamped_to_input(self):
+        head = AuxiliaryHead(4, 8, 3, in_hw=(1, 1), pool_to=2)
+        assert head.pool_to == 1
+        out = head.forward(rand_image_batch(2, 4, 1, 1, dtype=np.float32))
+        assert out.shape == (2, 3)
+
+    def test_invalid_filters(self):
+        with pytest.raises(ConfigError):
+            AuxiliaryHead(4, 0, 3, in_hw=(4, 4))
+
+
+class TestAANRule:
+    def test_vgg_paper_example(self):
+        """Section 3: VGG min width 64 -> initial aux 32; max 512 -> later
+        aux 256."""
+        m = build_model("vgg16", num_classes=10)
+        counts = aux_filter_counts(m, rule="aan")
+        specs = m.local_layers()
+        for spec, count in zip(specs, counts):
+            if spec.before_first_downsample:
+                assert count == 32
+            else:
+                assert count == 256
+
+    def test_classic_rule_fixed(self):
+        m = build_model("vgg11", width_multiplier=0.25)
+        counts = aux_filter_counts(m, rule="classic")
+        assert all(c == CLASSIC_AUX_FILTERS for c in counts)
+
+    def test_uniform_small_rule(self):
+        m = build_model("vgg16", num_classes=10)
+        counts = aux_filter_counts(m, rule="uniform-small")
+        assert all(c == 32 for c in counts)
+
+    def test_unknown_rule(self):
+        m = build_model("vgg11", width_multiplier=0.125)
+        with pytest.raises(ConfigError):
+            aux_filter_counts(m, rule="magic")
+
+    def test_narrow_model_floor(self):
+        m = build_model("vgg11", width_multiplier=0.01)
+        counts = aux_filter_counts(m, rule="aan")
+        assert all(c >= 2 for c in counts)
+
+
+class TestBuildAuxHeads:
+    def test_one_head_per_layer(self, small_vgg):
+        heads = build_aux_heads(small_vgg, rule="aan")
+        assert len(heads) == small_vgg.num_local_layers
+
+    def test_heads_match_layer_geometry(self, small_vgg):
+        heads = build_aux_heads(small_vgg, rule="aan")
+        x = rand_image_batch(2, 3, 16, 16, dtype=np.float32)
+        for spec, head in zip(small_vgg.local_layers(), heads):
+            x = spec.module.forward(x)
+            out = head.forward(x)
+            assert out.shape == (2, small_vgg.num_classes)
+
+    def test_deterministic(self, small_vgg):
+        h1 = build_aux_heads(small_vgg, rule="aan", seed=4)
+        h2 = build_aux_heads(small_vgg, rule="aan", seed=4)
+        for a, b in zip(h1, h2):
+            for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+                np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_aan_heads_smaller_than_classic_at_early_layers(self):
+        m = build_model("vgg19", num_classes=10)
+        aan = build_aux_heads(m, rule="aan")
+        classic = build_aux_heads(m, rule="classic")
+        assert aan[0].num_filters < classic[0].num_filters

@@ -1,0 +1,98 @@
+"""Tests for the Appendix B convergence instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    ConvergenceMonitor,
+    convergence_bound_rhs,
+    distribution_drift,
+    robbins_monro_satisfied,
+)
+from repro.errors import ConfigError
+from repro.utils.rng import spawn_rng
+
+
+class TestDistributionDrift:
+    def test_identical_distributions_zero(self):
+        x = spawn_rng(0, "d").normal(size=1000)
+        assert distribution_drift(x, x) == 0.0
+
+    def test_disjoint_distributions_max(self):
+        a = np.zeros(100)
+        b = np.ones(100) * 10
+        assert distribution_drift(a, b) == pytest.approx(2.0)
+
+    def test_shifted_distributions_positive(self):
+        rng = spawn_rng(1, "d")
+        a = rng.normal(0, 1, size=5000)
+        b = rng.normal(0.5, 1, size=5000)
+        d = distribution_drift(a, b)
+        assert 0.0 < d < 2.0
+
+    def test_constant_inputs(self):
+        assert distribution_drift(np.ones(10), np.ones(10)) == 0.0
+
+    def test_bad_bins(self):
+        with pytest.raises(ConfigError):
+            distribution_drift(np.ones(4), np.ones(4), bins=1)
+
+
+class TestRobbinsMonro:
+    def test_decaying_schedule_accepted(self):
+        lrs = [0.1 / (t + 1) for t in range(20)]
+        assert robbins_monro_satisfied(lrs)
+
+    def test_increasing_schedule_rejected(self):
+        assert not robbins_monro_satisfied([0.1, 0.2, 0.3])
+
+    def test_empty_rejected(self):
+        assert not robbins_monro_satisfied([])
+
+
+class TestBound:
+    def test_finite_for_finite_drift(self):
+        lrs = [0.1 / (t + 1) for t in range(10)]
+        drifts = [1.0 / (t + 1) ** 2 for t in range(10)]
+        rhs = convergence_bound_rhs(2.0, lrs, drifts, grad_bound=10.0, smoothness=1.0)
+        assert np.isfinite(rhs)
+        assert rhs > 2.0  # includes the initial loss
+
+    def test_zero_drift_reduces_penalty(self):
+        lrs = [0.1] * 5
+        with_drift = convergence_bound_rhs(1.0, lrs, [0.5] * 5, 10.0, 1.0)
+        without = convergence_bound_rhs(1.0, lrs, [0.0] * 5, 10.0, 1.0)
+        assert without < with_drift
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            convergence_bound_rhs(1.0, [0.1], [0.1, 0.2], 1.0, 1.0)
+
+
+class TestMonitor:
+    def test_records_losses_and_drifts(self):
+        mon = ConvergenceMonitor()
+        rng = spawn_rng(2, "m")
+        for epoch in range(4):
+            mon.observe(rng.normal(size=200), loss=1.0 / (epoch + 1))
+        assert len(mon.losses) == 4
+        assert len(mon.drifts) == 3
+        assert mon.loss_decreased()
+
+    def test_cumulative_drift(self):
+        mon = ConvergenceMonitor()
+        x = spawn_rng(3, "m").normal(size=100)
+        mon.observe(x, 1.0)
+        mon.observe(x, 0.9)
+        assert mon.cumulative_drift == 0.0
+
+    def test_stabilizing_features_have_shrinking_drift(self):
+        """Assumption 4's premise: as a layer converges, consecutive
+        feature distributions drift less."""
+        mon = ConvergenceMonitor()
+        rng = spawn_rng(4, "m")
+        base = rng.normal(size=3000)
+        for t in range(6):
+            noise_scale = 1.0 / (t + 1) ** 2
+            mon.observe(base + rng.normal(0, noise_scale, size=3000), loss=1.0)
+        assert mon.drifts[-1] < mon.drifts[0]

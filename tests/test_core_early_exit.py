@@ -1,0 +1,90 @@
+"""Tests for early-exit selection and the exit model."""
+
+import numpy as np
+import pytest
+
+from helpers import rand_image_batch
+from repro.core.auxiliary import build_aux_heads
+from repro.core.early_exit import (
+    EarlyExitModel,
+    ExitCandidate,
+    exit_model_parameters,
+    select_exit,
+)
+from repro.errors import ConfigError
+from repro.models import build_model
+
+
+def _cand(layer, acc, params):
+    return ExitCandidate(layer_index=layer, val_accuracy=acc, num_parameters=params)
+
+
+class TestSelectExit:
+    def test_picks_best_accuracy(self):
+        chosen = select_exit([_cand(0, 0.5, 10), _cand(1, 0.9, 100)], tolerance=0.0)
+        assert chosen.layer_index == 1
+
+    def test_prefers_fewer_params_within_tolerance(self):
+        """Section 5.4 ('overthinking'): beyond saturation, accuracy gains
+        are trivial, so the smaller exit wins."""
+        cands = [_cand(0, 0.89, 10), _cand(1, 0.90, 100), _cand(2, 0.895, 500)]
+        chosen = select_exit(cands, tolerance=0.02)
+        assert chosen.layer_index == 0
+
+    def test_tie_broken_by_shallower_layer(self):
+        cands = [_cand(0, 0.9, 50), _cand(1, 0.9, 50)]
+        assert select_exit(cands, tolerance=0.0).layer_index == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            select_exit([])
+
+    def test_negative_tolerance_raises(self):
+        with pytest.raises(ConfigError):
+            select_exit([_cand(0, 0.5, 1)], tolerance=-0.1)
+
+
+class TestEarlyExitModel:
+    @pytest.fixture()
+    def exit_model(self, small_vgg):
+        heads = build_aux_heads(small_vgg, rule="aan")
+        stages = [s.module for s in small_vgg.local_layers()[:3]]
+        return EarlyExitModel(stages, heads[2], exit_layer=2, name="test-exit")
+
+    def test_forward_shape(self, exit_model, small_vgg):
+        x = rand_image_batch(2, 3, 16, 16, dtype=np.float32)
+        assert exit_model.forward(x).shape == (2, small_vgg.num_classes)
+
+    def test_predict(self, exit_model):
+        x = rand_image_batch(3, 3, 16, 16, dtype=np.float32)
+        preds = exit_model.predict(x)
+        assert preds.shape == (3,)
+        assert preds.dtype == np.int64 or np.issubdtype(preds.dtype, np.integer)
+
+    def test_starts_in_eval_mode(self, exit_model):
+        assert not exit_model.training
+
+    def test_param_count_matches_helper(self, exit_model, small_vgg):
+        heads = build_aux_heads(small_vgg, rule="aan")
+        stages = [s.module for s in small_vgg.local_layers()[:3]]
+        assert exit_model.num_parameters() == exit_model_parameters(stages, heads[2])
+
+    def test_exit_smaller_than_full_model(self, small_vgg):
+        """The Table 2 effect at construction level: an early exit carries
+        far fewer parameters than the full model."""
+        heads = build_aux_heads(small_vgg, rule="aan")
+        stages = [s.module for s in small_vgg.local_layers()[:2]]
+        exit_params = exit_model_parameters(stages, heads[1])
+        assert exit_params < small_vgg.num_parameters() / 3
+
+    def test_requires_stages(self, small_vgg):
+        heads = build_aux_heads(small_vgg, rule="aan")
+        with pytest.raises(ConfigError):
+            EarlyExitModel([], heads[0], 0, name="x")
+
+    def test_backward_pass(self, exit_model):
+        exit_model.train()
+        x = rand_image_batch(2, 3, 16, 16, dtype=np.float32)
+        out = exit_model.forward(x)
+        dx = exit_model.backward(np.ones_like(out))
+        assert dx.shape == x.shape

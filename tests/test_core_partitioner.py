@@ -1,0 +1,136 @@
+"""Tests for Algorithm 1 (CNN partitioning)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioner import (
+    Block,
+    feasible_batches,
+    partition,
+    validate_partition,
+)
+from repro.core.profiler import LinearMemoryModel
+from repro.errors import ConfigError, PartitionError
+
+
+def _models(slopes, intercept=1000.0):
+    return [LinearMemoryModel(s, intercept, 1.0) for s in slopes]
+
+
+class TestFeasibleBatches:
+    def test_capped_at_limit(self):
+        models = _models([10.0])  # max batch for budget 10_000 ~ 900
+        assert feasible_batches(models, 10_000, 64) == [64]
+
+    def test_uncapped(self):
+        models = _models([100.0])
+        assert feasible_batches(models, 10_000, 1000) == [90]
+
+    def test_infeasible_layer_raises(self):
+        models = _models([1e9])
+        with pytest.raises(PartitionError):
+            feasible_batches(models, 10_000, 64)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigError):
+            feasible_batches(_models([1.0]), 0, 64)
+
+    def test_invalid_limit(self):
+        with pytest.raises(ConfigError):
+            feasible_batches(_models([1.0]), 100, 0)
+
+
+class TestPartition:
+    def test_uniform_layers_one_block(self):
+        blocks = partition(_models([10.0] * 5), 10_000, 64, rho=0.4)
+        assert len(blocks) == 1
+        assert blocks[0].layer_indices == [0, 1, 2, 3, 4]
+        assert blocks[0].batch_size == 64
+
+    def test_split_on_large_jump(self):
+        # feasible: [9, 9, 90, 90] -> jump 9->90 exceeds 40%.
+        blocks = partition(_models([1000.0, 1000.0, 100.0, 100.0]), 10_000, 256, rho=0.4)
+        assert len(blocks) == 2
+        assert blocks[0].layer_indices == [0, 1]
+        assert blocks[1].layer_indices == [2, 3]
+        assert blocks[0].batch_size < blocks[1].batch_size
+
+    def test_block_batch_is_min_of_members(self):
+        # feasible: [100, 80] -> |80-100| = 20 <= 40 -> grouped, batch 80.
+        blocks = partition(_models([90.0, 112.5]), 10_000, 256, rho=0.4)
+        assert len(blocks) == 1
+        assert blocks[0].batch_size == 80
+
+    def test_rho_zero_groups_only_identical(self):
+        blocks = partition(_models([100.0, 100.0, 50.0]), 10_000, 256, rho=0.0)
+        assert [b.layer_indices for b in blocks] == [[0, 1], [2]]
+
+    def test_rho_huge_groups_everything(self):
+        blocks = partition(_models([1000.0, 10.0, 500.0]), 10_000, 256, rho=100.0)
+        assert len(blocks) == 1
+
+    def test_singleton_blocks_when_all_jumps_large(self):
+        blocks = partition(_models([1000.0, 100.0, 10.0]), 10_000, 2000, rho=0.1)
+        assert [len(b) for b in blocks] == [1, 1, 1]
+
+    def test_empty_models_raise(self):
+        with pytest.raises(PartitionError):
+            partition([], 1000, 64)
+
+    def test_negative_rho_raises(self):
+        with pytest.raises(ConfigError):
+            partition(_models([1.0]), 1000, 64, rho=-0.1)
+
+    def test_paper_threshold_comparison_is_relative(self):
+        """Alg. 1 line 10: |b_{i+1} - b_i| <= rho * b_i (relative to the
+        *current* layer, not symmetric)."""
+        # b = [10, 14]: |14-10| = 4 <= 0.4*10 -> grouped.
+        blocks = partition(_models([1000.0, 714.2857]), 11_000, 256, rho=0.4)
+        assert len(blocks) == 1
+        # b = [10, 16]: 6 > 4 -> split.
+        blocks = partition(_models([1000.0, 625.0]), 11_000, 256, rho=0.4)
+        assert len(blocks) == 2
+
+
+class TestValidatePartition:
+    def test_accepts_valid(self):
+        blocks = partition(_models([10.0] * 4), 10_000, 64)
+        validate_partition(blocks, 4)
+
+    def test_rejects_gap(self):
+        blocks = [Block(0, [0, 1], 8), Block(1, [3], 8)]
+        with pytest.raises(PartitionError):
+            validate_partition(blocks, 4)
+
+    def test_rejects_zero_batch(self):
+        blocks = [Block(0, [0], 0)]
+        with pytest.raises(PartitionError):
+            validate_partition(blocks, 1)
+
+    def test_rejects_non_contiguous(self):
+        blocks = [Block(0, [0, 2, 1], 4)]
+        with pytest.raises(PartitionError):
+            validate_partition(blocks, 3)
+
+
+class TestPartitionProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        slopes=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=24),
+        budget=st.integers(10_000_000, 100_000_000),
+        limit=st.integers(1, 512),
+        rho=st.floats(0.0, 1.0),
+    )
+    def test_invariants_hold_for_any_input(self, slopes, budget, limit, rho):
+        models = _models(slopes, intercept=100.0)
+        blocks = partition(models, budget, limit, rho=rho)
+        validate_partition(blocks, len(slopes))
+        feasible = feasible_batches(models, budget, limit)
+        for block in blocks:
+            # Block batch equals the min of member feasible batches and
+            # therefore respects every member's memory constraint.
+            assert block.batch_size == min(feasible[i] for i in block.layer_indices)
+            assert 1 <= block.batch_size <= limit
+            for i in block.layer_indices:
+                assert models[i].predict(block.batch_size) <= budget

@@ -1,0 +1,54 @@
+"""Tests for the error hierarchy and RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    MemoryBudgetExceeded,
+    PartitionError,
+    ProfilingError,
+    ReproError,
+    ShapeError,
+)
+from repro.utils.rng import spawn_rng
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (ShapeError, ConfigError, MemoryBudgetExceeded, ProfilingError, PartitionError):
+            assert issubclass(exc, ReproError)
+
+    def test_oom_fields_and_message(self):
+        err = MemoryBudgetExceeded(2048, 1024, 3000, "activations")
+        assert err.requested == 2048
+        assert err.in_use == 1024
+        assert err.budget == 3000
+        assert "activations" in str(err)
+        assert "3000" in str(err)
+
+    def test_oom_without_tag(self):
+        err = MemoryBudgetExceeded(10, 0, 5)
+        assert "allocating" not in str(err)
+
+
+class TestSpawnRng:
+    def test_deterministic(self):
+        a = spawn_rng(42, "a", "b").normal(size=5)
+        b = spawn_rng(42, "a", "b").normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = spawn_rng(42, "x").normal(size=5)
+        b = spawn_rng(42, "y").normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn_rng(1, "x").normal(size=5)
+        b = spawn_rng(2, "x").normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_key_paths_not_concatenation_ambiguous(self):
+        a = spawn_rng(0, "ab", "c").normal(size=3)
+        b = spawn_rng(0, "a", "bc").normal(size=3)
+        assert not np.array_equal(a, b)

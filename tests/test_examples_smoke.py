@@ -1,0 +1,42 @@
+"""Smoke test: the quickstart example must run end to end.
+
+The other examples exercise the same code paths with longer runtimes;
+they are executed as part of the documented workflow rather than CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs_clean():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "partition (Algorithm 1)" in proc.stdout
+    assert "exit layer" in proc.stdout
+    assert "compression" in proc.stdout
+
+
+def test_all_examples_importable():
+    """Every example must at least parse and import its dependencies."""
+    import ast
+
+    for path in sorted(EXAMPLES.glob("*.py")):
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        # Examples must guard execution behind __main__.
+        guards = [
+            node
+            for node in tree.body
+            if isinstance(node, ast.If)
+            and isinstance(node.test, ast.Compare)
+            and getattr(node.test.left, "id", "") == "__name__"
+        ]
+        assert guards, f"{path.name} lacks a __main__ guard"

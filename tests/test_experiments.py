@@ -1,0 +1,104 @@
+"""Tests for the experiment-reproduction package (analytic experiments).
+
+The slow real-training experiments are exercised by ``benchmarks/``; here
+we cover the fast analytic ones plus the shared result container.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig01, fig04, fig05_06, fig08, fig11, fig13
+from repro.experiments.common import ExperimentResult, small_training_setup
+
+
+class TestExperimentResult:
+    def test_add_row_width_checked(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            r.add_row(1)
+
+    def test_column(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        r.add_row(1, 2)
+        r.add_row(3, 4)
+        assert r.column("b") == [2, 4]
+
+    def test_table_renders(self):
+        r = ExperimentResult("x", "title here", ["col"])
+        r.add_row(1.23456)
+        r.notes.append("a note")
+        text = r.table()
+        assert "title here" in text
+        assert "1.23" in text
+        assert "note: a note" in text
+
+    def test_small_setup_builds(self):
+        model, data = small_training_setup(n_train=20, n_val=8, n_test=8)
+        assert model.num_local_layers > 0
+        assert len(data.x_train) == 20
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01.run(model_names=("vgg19",), dataset="cifar10")
+
+    def test_rows_per_batch(self, result):
+        assert result.column("batch") == [4, 8, 256]
+
+    def test_activations_grow_with_batch(self, result):
+        act = result.column("activations_MB")
+        assert act == sorted(act)
+
+    def test_relative_time_anchored_at_256(self, result):
+        rel = dict(zip(result.column("batch"), result.column("rel_time_vs_b256")))
+        assert rel[256] == pytest.approx(1.0)
+        assert rel[4] > rel[8] > rel[256]
+
+
+class TestFig04:
+    def test_ordering_all_batches(self):
+        result = fig04.run(num_classes=10, batches=(10, 50))
+        for _batch, inf, aan, bp, classic in result.rows:
+            assert inf < aan < bp < classic
+
+
+class TestFig05_06:
+    def test_fig05_unused_nonnegative(self):
+        result = fig05_06.run_fig05(model_name="vgg11", num_classes=10)
+        assert all(u >= 0 for u in result.column("unused_MB"))
+
+    def test_fig06_batches_positive(self):
+        result = fig05_06.run_fig06(model_name="vgg11", num_classes=10)
+        assert all(b >= 1 for b in result.column("max_batch"))
+
+
+class TestFig08:
+    def test_linearity(self):
+        result = fig08.run(model_name="vgg11", num_classes=10, batches=(8, 16, 32))
+        assert fig08.linearity_check(result) > 0.999
+
+
+class TestFig11:
+    def test_single_cell_grid(self):
+        result = fig11.run(
+            models=("vgg16",), datasets=("cifar10",), budgets_mb=(300,), epochs=5
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row[0] == "vgg16"
+        speedup = row[6]
+        assert speedup > 1.0
+
+
+class TestFig13:
+    def test_cumulative_normalized(self):
+        result = fig13.run(model_names=("vgg19",), num_classes=10)
+        cum = result.column("cum_aux_flops_norm")
+        assert cum == sorted(cum)
+        assert cum[-1] == pytest.approx(1.0)
+
+    def test_activation_monotone_trend(self):
+        result = fig13.run(model_names=("resnet18",), num_classes=10)
+        act = result.column("activation_elements")
+        assert act[0] >= act[-1]

@@ -1,0 +1,111 @@
+"""Tests for the federated-learning extension."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import NeuroFluxConfig
+from repro.data.registry import dataset_spec
+from repro.errors import ConfigError
+from repro.extensions import (
+    FederatedClient,
+    FederatedNeuroFlux,
+    federated_average,
+    shard_dataset,
+)
+
+MB = 2**20
+
+
+class TestFederatedAverage:
+    def test_equal_weights_is_mean(self):
+        a = {"w": np.array([1.0, 2.0], dtype=np.float32)}
+        b = {"w": np.array([3.0, 4.0], dtype=np.float32)}
+        avg = federated_average([a, b], [1.0, 1.0])
+        np.testing.assert_allclose(avg["w"], [2.0, 3.0])
+
+    def test_weighted(self):
+        a = {"w": np.array([0.0], dtype=np.float32)}
+        b = {"w": np.array([10.0], dtype=np.float32)}
+        avg = federated_average([a, b], [3.0, 1.0])
+        np.testing.assert_allclose(avg["w"], [2.5])
+
+    def test_preserves_dtype(self):
+        a = {"w": np.array([1.0], dtype=np.float32)}
+        avg = federated_average([a], [1.0])
+        assert avg["w"].dtype == np.float32
+
+    def test_mismatched_keys_raise(self):
+        with pytest.raises(ConfigError):
+            federated_average(
+                [{"a": np.zeros(1)}, {"b": np.zeros(1)}], [1.0, 1.0]
+            )
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            federated_average([], [])
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ConfigError):
+            federated_average([{"w": np.zeros(1)}], [0.0])
+
+
+class TestSharding:
+    def test_shards_cover_dataset(self, tiny_dataset):
+        shards = shard_dataset(tiny_dataset, 3)
+        assert sum(len(y) for _, y in shards) == len(tiny_dataset.x_train)
+
+    def test_invalid_client_count(self, tiny_dataset):
+        with pytest.raises(ConfigError):
+            shard_dataset(tiny_dataset, 0)
+
+
+class TestFederatedNeuroFlux:
+    @pytest.fixture(scope="class")
+    def fed_result(self):
+        spec = dataset_spec(
+            "cifar10", num_classes=4, image_hw=(16, 16), noise_std=0.4, seed=11
+        )
+        spec = replace(spec, n_train=180, n_val=40, n_test=60)
+        global_data = spec.materialize()
+        shards = shard_dataset(global_data, 2)
+        clients = []
+        for i, (x, y) in enumerate(shards):
+            shard = replace(spec, n_train=len(x)).materialize()
+            shard.x_train, shard.y_train = x, y
+            clients.append(
+                FederatedClient(client_id=i, data=shard, memory_budget=12 * MB)
+            )
+        fed = FederatedNeuroFlux(
+            model_name="vgg11",
+            clients=clients,
+            eval_data=global_data,
+            model_kwargs=dict(num_classes=4, input_hw=(16, 16), width_multiplier=0.125),
+            config=NeuroFluxConfig(batch_limit=32, seed=0),
+        )
+        return fed.run(rounds=2, local_epochs=2)
+
+    def test_rounds_recorded(self, fed_result):
+        assert len(fed_result.rounds) == 2
+        for r in fed_result.rounds:
+            assert r.sim_time_s > 0
+            assert len(r.client_exit_layers) == 2
+
+    def test_global_model_beats_chance(self, fed_result):
+        # Two clients x two rounds x two local epochs on 90-sample shards:
+        # the averaged global model must still clear chance (0.25).
+        assert fed_result.final_accuracy > 0.3
+
+    def test_accuracy_does_not_collapse_across_rounds(self, fed_result):
+        first, last = fed_result.rounds[0], fed_result.rounds[-1]
+        assert last.global_accuracy >= first.global_accuracy - 0.1
+
+    def test_total_time_is_sum_of_round_maxima(self, fed_result):
+        assert fed_result.total_sim_time_s == pytest.approx(
+            sum(r.sim_time_s for r in fed_result.rounds)
+        )
+
+    def test_requires_clients(self, tiny_dataset):
+        with pytest.raises(ConfigError):
+            FederatedNeuroFlux("vgg11", [], tiny_dataset)

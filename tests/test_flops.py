@@ -1,0 +1,126 @@
+"""Tests for FLOP accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.flops import (
+    model_forward_flops,
+    module_forward_flops,
+    stage_output_shapes,
+    training_step_flops,
+)
+from repro.models import build_model
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+
+class TestAtomicCounts:
+    def test_conv_hand_computed(self):
+        conv = Conv2d(3, 8, 3, padding=1, bias=False)
+        flops, out = module_forward_flops(conv, (2, 3, 16, 16))
+        # 2 * N * Cout * OH * OW * Cin * k^2
+        assert flops == 2 * 2 * 8 * 16 * 16 * 3 * 9
+        assert out == (2, 8, 16, 16)
+
+    def test_conv_bias_adds_flops(self):
+        with_bias = Conv2d(2, 4, 3, padding=1, bias=True)
+        without = Conv2d(2, 4, 3, padding=1, bias=False)
+        f1, _ = module_forward_flops(with_bias, (1, 2, 8, 8))
+        f2, _ = module_forward_flops(without, (1, 2, 8, 8))
+        assert f1 - f2 == 4 * 8 * 8
+
+    def test_depthwise_much_cheaper_than_dense(self):
+        dw = DepthwiseConv2d(32, 3, padding=1, bias=False)
+        dense = Conv2d(32, 32, 3, padding=1, bias=False)
+        f_dw, _ = module_forward_flops(dw, (1, 32, 8, 8))
+        f_dense, _ = module_forward_flops(dense, (1, 32, 8, 8))
+        assert f_dense == 32 * f_dw
+
+    def test_linear(self):
+        lin = Linear(10, 5, bias=True)
+        flops, out = module_forward_flops(lin, (3, 10))
+        assert flops == 2 * 3 * 10 * 5 + 3 * 5
+        assert out == (3, 5)
+
+    def test_pool_shapes(self):
+        f, out = module_forward_flops(MaxPool2d(2), (1, 4, 8, 8))
+        assert out == (1, 4, 4, 4)
+        assert f == 4 * 4 * 4 * 4
+        _, out = module_forward_flops(AvgPool2d(2), (1, 4, 8, 8))
+        assert out == (1, 4, 4, 4)
+
+    def test_flatten(self):
+        f, out = module_forward_flops(Flatten(), (2, 4, 3, 3))
+        assert f == 0
+        assert out == (2, 36)
+
+    def test_bn_and_relu_linear_in_elements(self):
+        f_bn, _ = module_forward_flops(BatchNorm2d(4), (1, 4, 8, 8))
+        f_relu, _ = module_forward_flops(ReLU(), (1, 4, 8, 8))
+        assert f_bn == 5 * 4 * 64
+        assert f_relu == 4 * 64
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            module_forward_flops(Conv2d(3, 4, 3), (1, 2, 8, 8))
+
+    def test_unknown_module_raises(self):
+        class Strange:
+            pass
+
+        with pytest.raises(ShapeError):
+            module_forward_flops(Strange(), (1, 1, 2, 2))
+
+
+class TestCompositeCounts:
+    def test_sequential_sums(self):
+        seq = Sequential(Conv2d(2, 4, 3, padding=1, bias=False), ReLU())
+        f, out = module_forward_flops(seq, (1, 2, 8, 8))
+        f_conv, _ = module_forward_flops(seq[0], (1, 2, 8, 8))
+        f_relu, _ = module_forward_flops(seq[1], (1, 4, 8, 8))
+        assert f == f_conv + f_relu
+        assert out == (1, 4, 8, 8)
+
+    def test_basic_block_hook(self):
+        from repro.models.resnet import BasicBlock
+
+        block = BasicBlock(4, 8, stride=2)
+        f, out = module_forward_flops(block, (1, 4, 8, 8))
+        assert out == (1, 8, 4, 4)
+        assert f > 0
+
+    def test_model_flops_scale_with_batch(self):
+        m = build_model("vgg11", width_multiplier=0.125, input_hw=(16, 16))
+        f1 = model_forward_flops(m, 1)
+        f4 = model_forward_flops(m, 4)
+        assert f4 == 4 * f1
+
+    def test_vgg19_flops_plausible(self):
+        # CIFAR VGG-19 is ~0.4 GMACs = ~0.8 GFLOPs forward.
+        m = build_model("vgg19", num_classes=10)
+        f = model_forward_flops(m, 1)
+        assert 0.6e9 < f < 1.0e9
+
+    def test_stage_output_shapes(self):
+        m = build_model("vgg11", width_multiplier=0.25, input_hw=(32, 32))
+        shapes = stage_output_shapes(m, 2)
+        assert len(shapes) == m.num_local_layers
+        assert shapes[-1][0] == 2
+
+
+class TestTrainingStepFlops:
+    def test_default_multiplier(self):
+        assert training_step_flops(100) == 300
+
+    def test_custom_multiplier(self):
+        assert training_step_flops(100, backward_multiplier=3.0) == 400

@@ -1,0 +1,118 @@
+"""Tests for platform descriptors and the execution-time simulator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw import (
+    AGX_ORIN,
+    ALL_PLATFORMS,
+    JETSON_NANO,
+    RASPBERRY_PI_4B,
+    XAVIER_NX,
+    ExecutionSimulator,
+    TimeLedger,
+    get_platform,
+)
+
+
+class TestPlatforms:
+    def test_table1_peak_flops(self):
+        # Table 1 of the paper.
+        assert RASPBERRY_PI_4B.peak_flops == pytest.approx(0.00969e12)
+        assert JETSON_NANO.peak_flops == pytest.approx(0.472e12)
+        assert XAVIER_NX.peak_flops == pytest.approx(1.33e12)
+        assert AGX_ORIN.peak_flops == pytest.approx(4.76e12)
+
+    def test_table1_memory(self):
+        assert RASPBERRY_PI_4B.memory_bytes == 4 * 1024**3
+        assert XAVIER_NX.memory_bytes == 8 * 1024**3
+        assert AGX_ORIN.memory_bytes == 64 * 1024**3
+
+    def test_compute_ordering(self):
+        assert (
+            RASPBERRY_PI_4B.effective_flops
+            < JETSON_NANO.effective_flops
+            < XAVIER_NX.effective_flops
+            < AGX_ORIN.effective_flops
+        )
+
+    def test_get_platform(self):
+        assert get_platform("agx-orin") is AGX_ORIN
+        assert get_platform("PI4B") is RASPBERRY_PI_4B
+        with pytest.raises(ConfigError):
+            get_platform("tpu")
+
+    def test_all_platforms_registry(self):
+        assert len(ALL_PLATFORMS) == 4
+
+    def test_pi_has_no_gpu(self):
+        assert not RASPBERRY_PI_4B.has_gpu
+        assert AGX_ORIN.has_gpu
+
+
+class TestSimulator:
+    def test_compute_time(self):
+        sim = ExecutionSimulator(AGX_ORIN)
+        t = sim.compute_time(AGX_ORIN.effective_flops)  # exactly 1 second of work
+        assert t == pytest.approx(1.0)
+
+    def test_negative_flops_raises(self):
+        with pytest.raises(ConfigError):
+            ExecutionSimulator(AGX_ORIN).compute_time(-1)
+
+    def test_training_step_accumulates_categories(self):
+        sim = ExecutionSimulator(JETSON_NANO)
+        sim.add_training_step(flops=1e9, batch_bytes=1e6, n_kernels=10)
+        assert sim.ledger.compute > 0
+        assert sim.ledger.data_io > 0
+        assert sim.ledger.overhead >= JETSON_NANO.batch_overhead
+        assert sim.elapsed == pytest.approx(sim.ledger.total)
+
+    def test_small_batches_cost_more_per_sample(self):
+        """The Figure 1 effect: fixed per-batch overhead dominates at small
+        batch sizes, so total epoch time shrinks as batch grows."""
+        n_samples, flops_per_sample = 1024, 1e8
+
+        def epoch_time(batch):
+            sim = ExecutionSimulator(AGX_ORIN)
+            steps = n_samples // batch
+            for _ in range(steps):
+                sim.add_training_step(flops_per_sample * batch, 12288 * batch, 20)
+            return sim.elapsed
+
+        t4, t256 = epoch_time(4), epoch_time(256)
+        assert t4 > 4 * t256
+
+    def test_inference_has_no_batch_overhead(self):
+        sim = ExecutionSimulator(AGX_ORIN)
+        sim.add_inference_batch(1e9, 1e6, 5)
+        assert sim.ledger.overhead < AGX_ORIN.batch_overhead
+
+    def test_cache_io_uses_storage_bandwidth(self):
+        sim = ExecutionSimulator(JETSON_NANO)
+        t = sim.add_cache_write(JETSON_NANO.storage_bandwidth)  # 1 second of bytes
+        assert t == pytest.approx(1.0 + JETSON_NANO.storage_latency)
+        assert sim.ledger.cache_io == pytest.approx(t)
+
+    def test_slower_platform_takes_longer(self):
+        work = dict(flops=1e10, batch_bytes=1e7, n_kernels=30)
+        fast = ExecutionSimulator(AGX_ORIN)
+        slow = ExecutionSimulator(RASPBERRY_PI_4B)
+        fast.add_training_step(**work)
+        slow.add_training_step(**work)
+        assert slow.elapsed > fast.elapsed
+
+
+class TestTimeLedger:
+    def test_merge(self):
+        a = TimeLedger(compute=1.0, data_io=0.5)
+        b = TimeLedger(compute=2.0, cache_io=1.5)
+        a.merge(b)
+        assert a.compute == 3.0
+        assert a.cache_io == 1.5
+        assert a.total == pytest.approx(5.0)
+
+    def test_as_dict(self):
+        d = TimeLedger(compute=1.0).as_dict()
+        assert d["compute"] == 1.0
+        assert d["total"] == 1.0

@@ -1,0 +1,83 @@
+"""Property-based tests on the memory model's structural guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auxiliary import build_aux_heads
+from repro.memory.estimator import (
+    bp_training_memory,
+    inference_memory,
+    ll_training_memory,
+    local_unit_training_memory,
+)
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("vgg11", num_classes=10, input_hw=(32, 32), width_multiplier=0.25)
+
+
+@pytest.fixture(scope="module")
+def aux(model):
+    return build_aux_heads(model, rule="aan")
+
+
+class TestAffinity:
+    """Training memory must be exactly affine in the batch size -- the
+    Figure 8 observation the Profiler's linear models rely on."""
+
+    @settings(deadline=None, max_examples=20)
+    @given(a=st.integers(1, 100), b=st.integers(1, 100))
+    def test_bp_affine(self, model, a, b):
+        m = lambda k: bp_training_memory(model, k).total
+        # Affine: second difference is zero -> m(a) + m(b) == m(a+b) + m(0+)
+        lhs = m(a) + m(b)
+        rhs = m(a + b) + (2 * m(1) - m(2))  # m(0) extrapolated
+        assert abs(lhs - rhs) <= 2  # integer rounding only
+
+    @settings(deadline=None, max_examples=20)
+    @given(a=st.integers(1, 100))
+    def test_unit_slope_constant(self, model, aux, a):
+        spec = model.local_layers()[0]
+        m = lambda k: local_unit_training_memory(spec, aux[0], k).total
+        assert m(a + 1) - m(a) == m(2) - m(1)
+
+
+class TestDominanceInvariants:
+    @settings(deadline=None, max_examples=15)
+    @given(batch=st.integers(1, 128))
+    def test_every_unit_below_bp(self, model, aux, batch):
+        """NeuroFlux's working set (any single unit) never exceeds BP's."""
+        bp = bp_training_memory(model, batch).total
+        for spec, head in zip(model.local_layers(), aux):
+            assert local_unit_training_memory(spec, head, batch).total < bp
+
+    @settings(deadline=None, max_examples=15)
+    @given(batch=st.integers(1, 128))
+    def test_inference_below_training(self, model, batch):
+        assert inference_memory(model, batch).total < bp_training_memory(model, batch).total
+
+    @settings(deadline=None, max_examples=10)
+    @given(batch=st.integers(1, 64))
+    def test_residency_modes_ordered(self, model, aux, batch):
+        """params-only residency (AAN-LL) never exceeds full residency."""
+        full = ll_training_memory(model, aux, batch, residency="full").total
+        unit = ll_training_memory(model, aux, batch, residency="params-only").total
+        assert unit <= full
+
+    def test_breakdown_components_nonnegative(self, model, aux):
+        for batch in (1, 7, 33):
+            for breakdown in (
+                bp_training_memory(model, batch),
+                inference_memory(model, batch),
+                ll_training_memory(model, aux, batch),
+                local_unit_training_memory(model.local_layers()[2], aux[2], batch),
+            ):
+                assert breakdown.activations >= 0
+                assert breakdown.parameters >= 0
+                assert breakdown.gradients >= 0
+                assert breakdown.optimizer >= 0
+                assert breakdown.workspace >= 0

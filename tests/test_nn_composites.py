@@ -1,0 +1,102 @@
+"""Gradient checks for composite stages (the units local learning trains).
+
+Verifies that entire conv+BN+ReLU+pool chains and residual blocks have
+correct end-to-end gradients -- the property Algorithm 2 relies on when it
+backpropagates a local loss through one unit.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import check_module_input_grad, rand_image_batch
+from repro.models.resnet import BasicBlock
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+from repro.utils.rng import spawn_rng
+
+
+def cast_f64(module: Module) -> Module:
+    """Promote a module's parameters (and BN stats) to float64 in place."""
+    for p in module.parameters():
+        p.data = p.data.astype(np.float64)
+        p.grad = p.grad.astype(np.float64)
+    for sub in module.modules():
+        if isinstance(sub, BatchNorm2d):
+            sub.running_mean = sub.running_mean.astype(np.float64)
+            sub.running_var = sub.running_var.astype(np.float64)
+    return module
+
+
+class TestVGGStyleUnit:
+    def test_conv_bn_relu_grad(self):
+        unit = cast_f64(
+            Sequential(
+                Conv2d(2, 4, 3, padding=1, bias=False, rng=spawn_rng(0, "u")),
+                BatchNorm2d(4),
+                ReLU(),
+            )
+        )
+        x = rand_image_batch(3, 2, 5, 5, seed=0)
+        check_module_input_grad(unit, x, rtol=1e-3, atol=1e-5)
+
+    def test_conv_bn_relu_pool_grad(self):
+        unit = cast_f64(
+            Sequential(
+                Conv2d(2, 3, 3, padding=1, bias=False, rng=spawn_rng(1, "u")),
+                BatchNorm2d(3),
+                ReLU(),
+                MaxPool2d(2),
+            )
+        )
+        # Scale up values so max-pool argmax is stable under perturbation.
+        x = rand_image_batch(2, 2, 6, 6, seed=1) * 3
+        check_module_input_grad(unit, x, rtol=1e-3, atol=1e-4)
+
+    def test_nested_sequential_grad(self):
+        inner = Sequential(Conv2d(2, 2, 1, rng=spawn_rng(2, "i")), ReLU())
+        outer = cast_f64(Sequential(inner, Conv2d(2, 3, 1, rng=spawn_rng(2, "o"))))
+        x = rand_image_batch(2, 2, 4, 4, seed=2)
+        check_module_input_grad(outer, x, rtol=1e-4, atol=1e-6)
+
+
+class TestResidualBlock:
+    def test_identity_shortcut_grad(self):
+        block = cast_f64(BasicBlock(3, 3, stride=1, rng=spawn_rng(3, "b")))
+        x = rand_image_batch(2, 3, 5, 5, seed=3)
+        check_module_input_grad(block, x, rtol=1e-3, atol=1e-4)
+
+    def test_projection_shortcut_grad(self):
+        block = cast_f64(BasicBlock(2, 4, stride=2, rng=spawn_rng(4, "b")))
+        x = rand_image_batch(2, 2, 6, 6, seed=4)
+        check_module_input_grad(block, x, rtol=1e-3, atol=1e-4)
+
+    def test_gradients_flow_through_both_paths(self):
+        """Zeroing the main path's final BN gamma must still deliver
+        gradient through the shortcut."""
+        block = BasicBlock(3, 3, stride=1, rng=spawn_rng(5, "b"))
+        block.bn2.gamma.data[...] = 0.0
+        x = rand_image_batch(1, 3, 4, 4, seed=5).astype(np.float32)
+        out = block.forward(x)
+        dx = block.backward(np.ones_like(out))
+        assert np.abs(dx).sum() > 0
+
+
+class TestUnitIsolation:
+    """Local learning assumes units are independent: backward through one
+    unit must not touch another's parameters."""
+
+    def test_backward_leaves_other_units_untouched(self, small_vgg):
+        specs = small_vgg.local_layers()
+        x = rand_image_batch(2, 3, 16, 16, seed=6).astype(np.float32)
+        out0 = specs[0].module.forward(x)
+        out1 = specs[1].module.forward(out0)
+        specs[1].module.backward(np.ones_like(out1))
+        for p in specs[0].module.parameters():
+            assert p.grad.sum() == 0
+        assert any(p.grad.any() for p in specs[1].module.parameters())

@@ -1,0 +1,133 @@
+"""Gradient and behaviour tests for Conv2d and DepthwiseConv2d."""
+
+import numpy as np
+import pytest
+
+from helpers import check_module_input_grad, check_param_grads, rand_image_batch
+from repro.errors import ShapeError
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.utils.rng import spawn_rng
+
+
+def _f64_conv(cin, cout, k, stride=1, padding=0, bias=True, seed=0):
+    return Conv2d(
+        cin, cout, k, stride=stride, padding=padding, bias=bias,
+        rng=spawn_rng(seed, "conv"), dtype=np.float64,
+    )
+
+
+class TestConv2dForward:
+    def test_output_shape(self):
+        conv = _f64_conv(3, 8, 3, padding=1)
+        x = rand_image_batch(2, 3, 10, 10)
+        assert conv.forward(x).shape == (2, 8, 10, 10)
+
+    def test_strided_shape(self):
+        conv = _f64_conv(3, 4, 3, stride=2, padding=1)
+        x = rand_image_batch(1, 3, 8, 8)
+        assert conv.forward(x).shape == (1, 4, 4, 4)
+
+    def test_known_value_identity_kernel(self):
+        conv = _f64_conv(1, 1, 1, bias=False)
+        conv.weight.data[...] = 2.0
+        x = rand_image_batch(1, 1, 4, 4)
+        np.testing.assert_allclose(conv.forward(x), 2 * x)
+
+    def test_bias_added(self):
+        conv = _f64_conv(1, 2, 1)
+        conv.weight.data[...] = 0.0
+        conv.bias.data[...] = [1.0, -3.0]
+        out = conv.forward(rand_image_batch(1, 1, 3, 3))
+        np.testing.assert_allclose(out[0, 0], 1.0)
+        np.testing.assert_allclose(out[0, 1], -3.0)
+
+    def test_wrong_channels_raises(self):
+        conv = _f64_conv(3, 4, 3)
+        with pytest.raises(ShapeError):
+            conv.forward(rand_image_batch(1, 2, 8, 8))
+
+    def test_eval_mode_drops_cache(self):
+        conv = _f64_conv(2, 2, 3, padding=1)
+        conv.eval()
+        conv.forward(rand_image_batch(1, 2, 5, 5))
+        with pytest.raises(ShapeError):
+            conv.backward(np.zeros((1, 2, 5, 5)))
+
+
+class TestConv2dGradients:
+    def test_input_grad(self):
+        conv = _f64_conv(2, 3, 3, padding=1, seed=1)
+        check_module_input_grad(conv, rand_image_batch(2, 2, 5, 5, seed=1))
+
+    def test_input_grad_strided(self):
+        conv = _f64_conv(2, 2, 3, stride=2, padding=1, seed=2)
+        check_module_input_grad(conv, rand_image_batch(2, 2, 6, 6, seed=2))
+
+    def test_param_grads(self):
+        conv = _f64_conv(2, 2, 3, padding=1, seed=3)
+        check_param_grads(conv, rand_image_batch(1, 2, 4, 4, seed=3))
+
+    def test_grad_accumulates(self):
+        conv = _f64_conv(1, 1, 3, padding=1, seed=4)
+        x = rand_image_batch(1, 1, 4, 4, seed=4)
+        g = np.ones((1, 1, 4, 4))
+        conv.forward(x)
+        conv.backward(g)
+        first = conv.weight.grad.copy()
+        conv.forward(x)
+        conv.backward(g)
+        np.testing.assert_allclose(conv.weight.grad, 2 * first)
+
+    def test_backward_without_forward_raises(self):
+        conv = _f64_conv(1, 1, 3)
+        with pytest.raises(ShapeError):
+            conv.backward(np.zeros((1, 1, 2, 2)))
+
+
+class TestFeedbackAlignment:
+    def test_feedback_changes_input_grad_only(self):
+        x = rand_image_batch(1, 2, 5, 5, seed=5)
+        g = spawn_rng(5, "g").normal(size=(1, 3, 5, 5))
+
+        exact = _f64_conv(2, 3, 3, padding=1, seed=5)
+        exact.forward(x)
+        dx_exact = exact.backward(g)
+
+        fa = _f64_conv(2, 3, 3, padding=1, seed=5)
+        fa.enable_feedback_alignment(spawn_rng(99, "fb"))
+        fa.forward(x)
+        dx_fa = fa.backward(g)
+
+        assert not np.allclose(dx_exact, dx_fa)
+        np.testing.assert_allclose(exact.weight.grad, fa.weight.grad)
+
+
+class TestDepthwiseConv2d:
+    def test_output_shape(self):
+        dw = DepthwiseConv2d(4, 3, padding=1, rng=spawn_rng(0, "dw"), dtype=np.float64)
+        assert dw.forward(rand_image_batch(2, 4, 6, 6)).shape == (2, 4, 6, 6)
+
+    def test_channels_independent(self):
+        dw = DepthwiseConv2d(2, 3, padding=1, bias=False, rng=spawn_rng(1, "dw"), dtype=np.float64)
+        dw.weight.data[0] = 0.0
+        x = rand_image_batch(1, 2, 5, 5, seed=1)
+        out = dw.forward(x)
+        np.testing.assert_allclose(out[:, 0], 0.0)
+        assert np.abs(out[:, 1]).sum() > 0
+
+    def test_input_grad(self):
+        dw = DepthwiseConv2d(3, 3, padding=1, rng=spawn_rng(2, "dw"), dtype=np.float64)
+        check_module_input_grad(dw, rand_image_batch(2, 3, 5, 5, seed=2))
+
+    def test_param_grads(self):
+        dw = DepthwiseConv2d(2, 3, padding=1, rng=spawn_rng(3, "dw"), dtype=np.float64)
+        check_param_grads(dw, rand_image_batch(1, 2, 4, 4, seed=3))
+
+    def test_strided_input_grad(self):
+        dw = DepthwiseConv2d(2, 3, stride=2, padding=1, rng=spawn_rng(4, "dw"), dtype=np.float64)
+        check_module_input_grad(dw, rand_image_batch(1, 2, 6, 6, seed=4))
+
+    def test_wrong_channels_raises(self):
+        dw = DepthwiseConv2d(3, 3)
+        with pytest.raises(ShapeError):
+            dw.forward(rand_image_batch(1, 2, 6, 6))

@@ -1,0 +1,157 @@
+"""Tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.functional import one_hot, softmax
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, make_optimizer
+from repro.utils.rng import spawn_rng
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = spawn_rng(0, "l").normal(size=(6, 4))
+        y = np.array([0, 1, 2, 3, 0, 1])
+        ce = CrossEntropyLoss()
+        loss = ce(logits, y)
+        probs = softmax(logits, axis=1)
+        manual = -np.log(probs[np.arange(6), y]).mean()
+        assert abs(loss - manual) < 1e-10
+
+    def test_gradient_formula(self):
+        logits = spawn_rng(1, "l").normal(size=(4, 3))
+        y = np.array([2, 0, 1, 2])
+        ce = CrossEntropyLoss()
+        ce(logits, y)
+        grad = ce.backward()
+        expected = (softmax(logits, axis=1) - one_hot(y, 3, dtype=np.float64)) / 4
+        np.testing.assert_allclose(grad, expected, rtol=1e-10)
+
+    def test_gradient_numeric(self):
+        logits = spawn_rng(2, "l").normal(size=(3, 4))
+        y = np.array([1, 3, 0])
+        ce = CrossEntropyLoss()
+        ce(logits, y)
+        analytic = ce.backward()
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                up, down = logits.copy(), logits.copy()
+                up[i, j] += eps
+                down[i, j] -= eps
+                numeric[i, j] = (CrossEntropyLoss()(up, y) - CrossEntropyLoss()(down, y)) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-8)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert CrossEntropyLoss()(logits, np.array([0, 1])) < 1e-6
+
+    def test_shape_errors(self):
+        ce = CrossEntropyLoss()
+        with pytest.raises(ShapeError):
+            ce(np.zeros((2, 3, 4)), np.array([0, 1]))
+        with pytest.raises(ShapeError):
+            ce(np.zeros((2, 3)), np.array([0, 1, 2]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            CrossEntropyLoss().backward()
+
+
+class TestMSE:
+    def test_value_and_grad(self):
+        pred = np.array([[1.0, 2.0], [3.0, 4.0]])
+        target = np.zeros((2, 2))
+        mse = MSELoss()
+        loss = mse(pred, target)
+        assert abs(loss - (1 + 4 + 9 + 16) / 4) < 1e-12
+        np.testing.assert_allclose(mse.backward(), pred / 2)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+def _params(values):
+    return [Parameter(np.array(v, dtype=np.float64)) for v in values]
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = _params([[1.0, 2.0]])[0]
+        p.grad[...] = [0.5, -0.5]
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = _params([[0.0]])[0]
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad[...] = [1.0]
+        opt.step()  # v=1, p=-1
+        np.testing.assert_allclose(p.data, [-1.0])
+        p.grad[...] = [1.0]
+        opt.step()  # v=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = _params([[1.0]])[0]
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad[...] = [0.0]
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.5])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ConfigError):
+            SGD(_params([[1.0]]), lr=0.1, nesterov=True)
+
+    def test_state_bytes(self):
+        p = Parameter(np.zeros((10, 10), dtype=np.float32))
+        assert SGD([p], lr=0.1).state_bytes() == 0
+        assert SGD([p], lr=0.1, momentum=0.9).state_bytes() == 400
+
+    def test_invalid_lr(self):
+        with pytest.raises(ConfigError):
+            SGD(_params([[1.0]]), lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        p = _params([[0.0]])[0]
+        opt = Adam([p], lr=0.1)
+        p.grad[...] = [3.0]
+        opt.step()
+        # Bias-corrected first step magnitude ~ lr regardless of grad scale.
+        np.testing.assert_allclose(p.data, [-0.1], rtol=1e-4)
+
+    def test_state_bytes(self):
+        p = Parameter(np.zeros(25, dtype=np.float32))
+        assert Adam([p], lr=0.1).state_bytes() == 200
+
+    def test_converges_on_quadratic(self):
+        p = _params([[5.0]])[0]
+        opt = Adam([p], lr=0.5)
+        for _ in range(200):
+            p.grad[...] = 2 * p.data  # d/dp p^2
+            opt.step()
+            p.zero_grad()
+        assert abs(p.data[0]) < 0.1
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigError):
+            Adam(_params([[1.0]]), lr=0.1, betas=(1.0, 0.9))
+
+
+class TestMakeOptimizer:
+    def test_names(self):
+        p = _params([[1.0]])
+        assert isinstance(make_optimizer("sgd", p, 0.1), SGD)
+        assert make_optimizer("sgd-momentum", p, 0.1).momentum == 0.9
+        assert isinstance(make_optimizer("adam", p, 0.1), Adam)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            make_optimizer("rmsprop", _params([[1.0]]), 0.1)

@@ -1,0 +1,107 @@
+"""Tests for LR schedulers and model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import robbins_monro_satisfied
+from repro.errors import ConfigError, ShapeError
+from repro.models import build_model
+from repro.nn import SGD, Linear
+from repro.nn.module import Parameter
+from repro.nn.schedulers import CosineAnnealingLR, InverseTimeLR, StepLR
+from repro.utils.rng import spawn_rng
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+
+def _opt(lr=0.1):
+    return SGD([Parameter(np.zeros(3, dtype=np.float32))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        sched = StepLR(_opt(0.1), step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [0.1, 0.05, 0.05, 0.025])
+
+    def test_applies_to_optimizer(self):
+        opt = _opt(0.1)
+        sched = StepLR(opt, step_size=1, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            StepLR(_opt(), step_size=0)
+        with pytest.raises(ConfigError):
+            StepLR(_opt(), step_size=1, gamma=0.0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        sched = CosineAnnealingLR(_opt(0.1), t_max=10, eta_min=0.001)
+        schedule = sched.schedule(10)
+        assert schedule[0] < 0.1
+        assert schedule[-1] == pytest.approx(0.001)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineAnnealingLR(_opt(0.1), t_max=8).schedule(8)
+        assert all(a >= b for a, b in zip(schedule, schedule[1:]))
+
+
+class TestInverseTime:
+    def test_formula(self):
+        sched = InverseTimeLR(_opt(0.1), decay=1.0)
+        assert sched.lr_at(1) == pytest.approx(0.05)
+        assert sched.lr_at(9) == pytest.approx(0.01)
+
+    def test_satisfies_robbins_monro_heuristic(self):
+        """Appendix B, Assumption 2: the schedule must be admissible."""
+        schedule = InverseTimeLR(_opt(0.1), decay=0.5).schedule(30)
+        assert robbins_monro_satisfied(schedule)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ConfigError):
+            InverseTimeLR(_opt(), decay=0.0)
+
+
+class TestCheckpointing:
+    def test_roundtrip_model(self, tmp_path):
+        model = build_model("vgg11", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=1)
+        x = spawn_rng(0, "x").normal(size=(2, 3, 16, 16)).astype(np.float32)
+        model.forward(x)  # update BN running stats
+        model.eval()
+        before = model.forward(x)
+
+        path = tmp_path / "model.npz"
+        nbytes = save_checkpoint(model, path)
+        assert nbytes > 0
+
+        other = build_model("vgg11", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=2)
+        load_checkpoint(other, path)
+        other.eval()
+        after = other.forward(x)
+        np.testing.assert_allclose(before, after, rtol=1e-5, atol=1e-6)
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        small = Linear(3, 2)
+        big = Linear(4, 2)
+        path = tmp_path / "lin.npz"
+        save_checkpoint(small, path)
+        with pytest.raises(ShapeError):
+            load_checkpoint(big, path)
+
+    def test_bn_stats_roundtrip(self, tmp_path):
+        model = build_model("resnet18", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=3)
+        x = spawn_rng(1, "x").normal(size=(4, 3, 16, 16)).astype(np.float32)
+        model.forward(x)
+        path = tmp_path / "resnet.npz"
+        save_checkpoint(model, path)
+        other = build_model("resnet18", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=4)
+        load_checkpoint(other, path)
+        from repro.nn.normalization import BatchNorm2d
+
+        src = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+        dst = [m for m in other.modules() if isinstance(m, BatchNorm2d)]
+        for a, b in zip(src, dst):
+            np.testing.assert_array_equal(a.running_mean, b.running_mean)
+            np.testing.assert_array_equal(a.running_var, b.running_var)

@@ -1,0 +1,136 @@
+"""Tests for the BP baseline trainer (and Feedback Alignment variant)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, MemoryBudgetExceeded
+from repro.hw import AGX_ORIN, JETSON_NANO
+from repro.models import build_model
+from repro.training import BackpropTrainer, FeedbackAlignmentTrainer
+from repro.training.backprop import max_feasible_batch
+
+
+class TestMaxFeasibleBatch:
+    def test_linear_memory_fn(self):
+        fn = lambda b: 100 * b + 50
+        assert max_feasible_batch(fn, 1050, 256) == 10
+        assert max_feasible_batch(fn, 150, 256) == 1
+
+    def test_no_budget_returns_limit(self):
+        assert max_feasible_batch(lambda b: b, None, 64) == 64
+
+    def test_limit_respected(self):
+        assert max_feasible_batch(lambda b: b, 10**9, 32) == 32
+
+    def test_single_sample_oom_raises(self):
+        with pytest.raises(MemoryBudgetExceeded):
+            max_feasible_batch(lambda b: 10**9, 100, 64)
+
+
+@pytest.fixture()
+def bp_setup(tiny_dataset):
+    model = build_model(
+        "vgg11", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=0
+    )
+    return model, tiny_dataset
+
+
+class TestBackpropTrainer:
+    def test_accuracy_beats_chance(self, bp_setup):
+        model, data = bp_setup
+        trainer = BackpropTrainer(model, data, lr=0.05, seed=1)
+        result = trainer.train(epochs=4, batch_size=32)
+        assert result.final_accuracy > 0.45  # chance = 0.25
+
+    def test_history_time_monotone(self, bp_setup):
+        model, data = bp_setup
+        result = BackpropTrainer(model, data).train(epochs=3, batch_size=32)
+        times = [p.sim_time_s for p in result.history]
+        assert times == sorted(times)
+        assert len(result.history) == 3
+
+    def test_budget_picks_feasible_batch(self, bp_setup):
+        model, data = bp_setup
+        trainer = BackpropTrainer(model, data)
+        budget = trainer.memory_at_batch(40)  # make the budget bind below the cap
+        trainer.memory_budget = budget
+        batch = trainer.max_feasible_batch()
+        assert batch == 40
+        assert trainer.memory_at_batch(batch) <= budget
+        assert trainer.memory_at_batch(batch + 1) > budget
+
+    def test_infeasible_budget_raises(self, bp_setup):
+        model, data = bp_setup
+        trainer = BackpropTrainer(model, data, memory_budget=1024)
+        with pytest.raises(MemoryBudgetExceeded):
+            trainer.train(epochs=1)
+
+    def test_time_budget_stops_early(self, bp_setup):
+        model, data = bp_setup
+        trainer = BackpropTrainer(model, data, platform=JETSON_NANO)
+        result = trainer.train(epochs=50, batch_size=32, time_budget_s=5.0)
+        # One more step may land past the threshold, but not a full run.
+        assert result.sim_time_s < 10.0
+
+    def test_zero_epochs_raises(self, bp_setup):
+        model, data = bp_setup
+        with pytest.raises(ConfigError):
+            BackpropTrainer(model, data).train(epochs=0)
+
+    def test_peak_memory_recorded(self, bp_setup):
+        model, data = bp_setup
+        result = BackpropTrainer(model, data).train(epochs=1, batch_size=16)
+        assert result.peak_memory_bytes > model.parameter_bytes()
+
+    def test_smaller_batch_takes_longer(self, tiny_dataset):
+        def run(batch):
+            model = build_model(
+                "vgg11", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=0
+            )
+            return BackpropTrainer(model, tiny_dataset, platform=AGX_ORIN).train(
+                epochs=1, batch_size=batch
+            )
+
+        assert run(8).sim_time_s > run(64).sim_time_s
+
+    def test_result_metadata(self, bp_setup):
+        model, data = bp_setup
+        result = BackpropTrainer(model, data).train(epochs=1, batch_size=16)
+        assert result.method == "backprop"
+        assert result.model_name == "vgg11"
+        assert result.dataset_name == "cifar10"
+        assert result.num_parameters == model.num_parameters()
+
+    def test_accuracy_at_time(self, bp_setup):
+        model, data = bp_setup
+        result = BackpropTrainer(model, data).train(epochs=2, batch_size=32)
+        assert result.accuracy_at_time(0.0) == 0.0
+        assert result.accuracy_at_time(np.inf) == max(
+            p.accuracy for p in result.history
+        )
+
+
+class TestFeedbackAlignment:
+    def test_trains_and_reports_method(self, bp_setup):
+        model, data = bp_setup
+        trainer = FeedbackAlignmentTrainer(model, data, lr=0.05, seed=2)
+        result = trainer.train(epochs=2, batch_size=32)
+        assert result.method == "feedback-alignment"
+        assert np.isfinite(result.final_accuracy)
+
+    def test_feedback_attached_to_conv_and_linear(self, bp_setup):
+        from repro.nn.conv import Conv2d
+        from repro.nn.linear import Linear
+
+        model, data = bp_setup
+        trainer = FeedbackAlignmentTrainer(model, data)
+        trainer.train(epochs=1, batch_size=64)
+        for module in model.modules():
+            if isinstance(module, (Conv2d, Linear)):
+                assert module.feedback is not None
+
+    def test_memory_identical_to_bp(self, bp_setup):
+        model, data = bp_setup
+        bp = BackpropTrainer(model, data)
+        fa = FeedbackAlignmentTrainer(model, data)
+        assert bp.memory_at_batch(32) == fa.memory_at_batch(32)

@@ -1,0 +1,90 @@
+"""Tests for classic local learning and signal propagation baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryBudgetExceeded
+from repro.models import build_model
+from repro.training import (
+    BackpropTrainer,
+    LocalLearningTrainer,
+    SignalPropagationTrainer,
+)
+
+
+@pytest.fixture()
+def small_model():
+    return build_model(
+        "vgg11", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=0
+    )
+
+
+class TestLocalLearningTrainer:
+    def test_accuracy_beats_chance(self, small_model, tiny_dataset):
+        trainer = LocalLearningTrainer(
+            small_model, tiny_dataset, lr=0.05, classic_filters=32, seed=1
+        )
+        result = trainer.train(epochs=4, batch_size=32)
+        assert result.final_accuracy > 0.45
+
+    def test_last_layer_has_no_aux(self, small_model, tiny_dataset):
+        trainer = LocalLearningTrainer(small_model, tiny_dataset)
+        assert trainer.aux_heads[-1] is None
+        assert all(a is not None for a in trainer.aux_heads[:-1])
+
+    def test_num_parameters_includes_aux(self, small_model, tiny_dataset):
+        trainer = LocalLearningTrainer(small_model, tiny_dataset, classic_filters=32)
+        result = trainer.train(epochs=1, batch_size=64)
+        assert result.num_parameters > small_model.num_parameters()
+
+    def test_memory_exceeds_bp_at_full_scale(self, tiny_dataset):
+        """Figure 4's classic-LL-vs-BP ordering, checked via the trainers'
+        own memory accounting at paper scale."""
+        full = build_model("vgg16", num_classes=10)
+        data = tiny_dataset  # memory accounting does not touch the data
+        bp = BackpropTrainer(full, data)
+        ll = LocalLearningTrainer(full, data)  # 256-filter heads
+        assert ll.memory_at_batch(30) > bp.memory_at_batch(30)
+
+    def test_infeasible_budget_raises(self, small_model, tiny_dataset):
+        trainer = LocalLearningTrainer(small_model, tiny_dataset, memory_budget=1024)
+        with pytest.raises(MemoryBudgetExceeded):
+            trainer.train(epochs=1)
+
+    def test_history_recorded(self, small_model, tiny_dataset):
+        result = LocalLearningTrainer(small_model, tiny_dataset, classic_filters=16).train(
+            epochs=2, batch_size=32
+        )
+        assert len(result.history) == 2
+        assert result.method == "classic-ll"
+
+    def test_aan_rule_variant_trains(self, small_model, tiny_dataset):
+        trainer = LocalLearningTrainer(
+            small_model, tiny_dataset, aux_rule="aan", seed=3
+        )
+        result = trainer.train(epochs=2, batch_size=32)
+        assert np.isfinite(result.final_accuracy)
+
+
+class TestSignalPropagation:
+    def test_runs_and_reports(self, small_model, tiny_dataset):
+        trainer = SignalPropagationTrainer(small_model, tiny_dataset, lr=0.02, seed=2)
+        result = trainer.train(epochs=2, batch_size=32)
+        assert result.method == "signal-propagation"
+        assert 0.0 <= result.final_accuracy <= 1.0
+
+    def test_memory_below_bp_and_ll(self, tiny_dataset):
+        """Figure 3's placement: SP is the most memory-frugal paradigm."""
+        full = build_model("vgg16", num_classes=10)
+        sp = SignalPropagationTrainer(full, tiny_dataset)
+        bp = BackpropTrainer(full, tiny_dataset)
+        ll = LocalLearningTrainer(full, tiny_dataset)
+        assert sp.memory_at_batch(30) < bp.memory_at_batch(30)
+        assert sp.memory_at_batch(30) < ll.memory_at_batch(30)
+
+    def test_learns_something(self, small_model, tiny_dataset):
+        """SP should beat chance on the easy synthetic task even though it
+        lags BP/LL in general."""
+        trainer = SignalPropagationTrainer(small_model, tiny_dataset, lr=0.05, seed=4)
+        result = trainer.train(epochs=4, batch_size=32)
+        assert result.final_accuracy > 0.3  # chance = 0.25

@@ -1,0 +1,113 @@
+"""Tests for the closed-form training-time simulation.
+
+The critical property: the simulation must agree with the real trainers'
+time accounting, since Figure 11 is produced from it.
+"""
+
+import pytest
+
+from repro.data.registry import dataset_spec
+from repro.evalsim.training_time import (
+    simulate_bp,
+    simulate_classic_ll,
+    simulate_neuroflux,
+    try_simulate,
+)
+from repro.hw import AGX_ORIN, JETSON_NANO
+from repro.models import build_model
+from repro.training import BackpropTrainer, LocalLearningTrainer
+
+MB = 2**20
+
+
+def _small_model(seed=0):
+    return build_model(
+        "vgg11", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=seed
+    )
+
+
+class TestConsistencyWithRealTrainers:
+    def test_bp_simulation_matches_trainer_ledger(self, tiny_dataset):
+        model = _small_model()
+        real = BackpropTrainer(model, tiny_dataset).train(epochs=2, batch_size=32)
+        sim = simulate_bp(
+            model, tiny_dataset.spec, AGX_ORIN, epochs=2, batch_limit=32
+        )
+        assert sim.batch_size == 32
+        assert sim.time_s == pytest.approx(real.sim_time_s, rel=1e-6)
+
+    def test_ll_simulation_matches_trainer_ledger(self, tiny_dataset):
+        model = _small_model()
+        trainer = LocalLearningTrainer(model, tiny_dataset, classic_filters=256)
+        real = trainer.train(epochs=1, batch_size=32)
+        model2 = _small_model()
+        sim = simulate_classic_ll(
+            model2, tiny_dataset.spec, AGX_ORIN, epochs=1, batch_limit=32
+        )
+        assert sim.time_s == pytest.approx(real.sim_time_s, rel=1e-6)
+
+
+class TestSimulatedShapes:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return dataset_spec("cifar10", scale=0.1)
+
+    def test_bp_infeasible_under_tight_budget(self, spec):
+        model = build_model("vgg16", num_classes=10)
+        assert (
+            try_simulate(
+                simulate_bp, model, spec, AGX_ORIN, 1, memory_budget=100 * MB
+            )
+            is None
+        )
+
+    def test_neuroflux_feasible_under_tight_budget(self, spec):
+        model = build_model("vgg16", num_classes=10)
+        run = try_simulate(
+            simulate_neuroflux, model, spec, AGX_ORIN, 1, memory_budget=100 * MB
+        )
+        assert run is not None
+        assert run.peak_memory_bytes <= 100 * MB
+
+    def test_neuroflux_faster_than_bp_at_same_budget(self, spec):
+        model = build_model("vgg16", num_classes=10)
+        budget = 300 * MB
+        bp = simulate_bp(model, spec, AGX_ORIN, 5, memory_budget=budget)
+        nf = simulate_neuroflux(model, spec, AGX_ORIN, 5, memory_budget=budget)
+        assert nf.time_s < bp.time_s
+
+    def test_cache_ablation_slower_once_amortized(self, spec):
+        """The cache-fill pass is an upfront cost: over enough epochs the
+        skipped forward passes dominate and caching wins."""
+        model = build_model("vgg16", num_classes=10)
+        with_cache = simulate_neuroflux(
+            model, spec, AGX_ORIN, 15, memory_budget=200 * MB, use_cache=True
+        )
+        without = simulate_neuroflux(
+            model, spec, AGX_ORIN, 15, memory_budget=200 * MB, use_cache=False
+        )
+        assert without.time_s > with_cache.time_s
+        # The compute saving exists at any epoch count.
+        assert without.ledger.compute > with_cache.ledger.compute
+
+    def test_adaptive_batch_ablation_slower(self, spec):
+        model = build_model("vgg16", num_classes=10)
+        adaptive = simulate_neuroflux(
+            model, spec, AGX_ORIN, 3, memory_budget=200 * MB, adaptive_batch=True
+        )
+        fixed = simulate_neuroflux(
+            model, spec, AGX_ORIN, 3, memory_budget=200 * MB, adaptive_batch=False
+        )
+        assert fixed.time_s >= adaptive.time_s
+
+    def test_slower_platform_longer_times(self, spec):
+        model = build_model("vgg16", num_classes=10)
+        orin = simulate_neuroflux(model, spec, AGX_ORIN, 2, memory_budget=300 * MB)
+        nano = simulate_neuroflux(model, spec, JETSON_NANO, 2, memory_budget=300 * MB)
+        assert nano.time_s > orin.time_s
+
+    def test_more_epochs_more_time(self, spec):
+        model = build_model("vgg16", num_classes=10)
+        t1 = simulate_bp(model, spec, AGX_ORIN, 1, memory_budget=400 * MB).time_s
+        t3 = simulate_bp(model, spec, AGX_ORIN, 3, memory_budget=400 * MB).time_s
+        assert t3 > 2.5 * t1
