@@ -59,6 +59,12 @@ def main() -> None:
             f"{throughput_gain(full_tp, exit_tp):>6.2f}x"
         )
 
+    # Confidence profile of the deployed exit: how often would a serving
+    # cascade keep its predictions instead of escalating?
+    probs = exit_model.predict_proba(data.x_test)
+    confident = (probs.max(axis=1) >= 0.5).mean()
+    print(f"\nsamples with top-1 confidence >= 0.5: {confident:.1%}")
+
     # Ship the compact model: save, reload, verify predictions survive.
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "exit_model.npz"

@@ -26,6 +26,7 @@ Subpackages:
 * :mod:`repro.data` -- synthetic stand-ins for CIFAR-10/100, Tiny ImageNet.
 * :mod:`repro.training` -- BP, classic LL, FA and SP baselines.
 * :mod:`repro.evalsim` -- inference-throughput evaluation.
+* :mod:`repro.serving` -- early-exit inference serving simulator.
 """
 
 from repro.core import NeuroFlux, NeuroFluxConfig, NeuroFluxReport
@@ -40,6 +41,14 @@ from repro.errors import (
 )
 from repro.hw import AGX_ORIN, JETSON_NANO, RASPBERRY_PI_4B, XAVIER_NX, get_platform
 from repro.models import build_model, list_models
+from repro.serving import (
+    CascadeRouter,
+    InferenceServer,
+    ServerConfig,
+    ServingReport,
+    WorkloadSpec,
+    simulate_serving,
+)
 from repro.training import (
     BackpropTrainer,
     FeedbackAlignmentTrainer,
@@ -52,10 +61,12 @@ __version__ = "1.0.0"
 __all__ = [
     "AGX_ORIN",
     "BackpropTrainer",
+    "CascadeRouter",
     "ConfigError",
     "DataLoader",
     "DatasetSpec",
     "FeedbackAlignmentTrainer",
+    "InferenceServer",
     "JETSON_NANO",
     "LocalLearningTrainer",
     "MemoryBudgetExceeded",
@@ -66,13 +77,17 @@ __all__ = [
     "ProfilingError",
     "RASPBERRY_PI_4B",
     "ReproError",
+    "ServerConfig",
+    "ServingReport",
     "ShapeError",
     "SignalPropagationTrainer",
     "SyntheticImageDataset",
+    "WorkloadSpec",
     "XAVIER_NX",
     "build_model",
     "dataset_spec",
     "get_platform",
     "list_models",
+    "simulate_serving",
     "__version__",
 ]

@@ -7,8 +7,11 @@ Usage::
     python -m repro.cli fig11 --models vgg16 --datasets cifar10
     python -m repro.cli table2
     python -m repro.cli all          # everything (slow)
+    python -m repro.cli serve --platform agx_orin --arrival-rate 200
 
 Each command prints the reproduced figure/table as a plain-text table.
+``serve`` trains a small NeuroFlux system and runs the early-exit
+inference serving simulator against it (see :mod:`repro.serving`).
 """
 
 from __future__ import annotations
@@ -67,6 +70,120 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], list[Experiment
 }
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="Train a small NeuroFlux system and serve it under load.",
+    )
+    parser.add_argument("--platform", default="agx_orin", help="platform short name")
+    parser.add_argument("--pattern", default="poisson", help="poisson | bursty | diurnal")
+    parser.add_argument("--arrival-rate", type=float, default=200.0, help="mean req/s")
+    parser.add_argument("--duration", type=float, default=1.0, help="stream length (s)")
+    parser.add_argument(
+        "--mode",
+        default="cascade",
+        choices=["cascade", "shallow-only", "deepest-only"],
+        help="routing policy",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.5, help="softmax confidence gate"
+    )
+    parser.add_argument(
+        "--exits",
+        type=int,
+        nargs="*",
+        default=None,
+        help="exit layer indices (default: every trained layer)",
+    )
+    parser.add_argument("--batch-cap", type=int, default=32, help="micro-batch cap")
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=5.0, help="batching deadline (ms)"
+    )
+    parser.add_argument("--queue-depth", type=int, default=256, help="admission bound")
+    parser.add_argument("--model", default="vgg11", help="model architecture")
+    parser.add_argument("--epochs", type=int, default=5, help="training epochs")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    return parser
+
+
+def _serve_main(argv: list[str]) -> int:
+    from repro.errors import ConfigError
+
+    try:
+        return _serve_run(argv)
+    except ConfigError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+
+def _serve_run(argv: list[str]) -> int:
+    from repro.core.config import NeuroFluxConfig
+    from repro.core.controller import NeuroFlux
+    from repro.data.registry import dataset_spec
+    from repro.errors import ConfigError
+    from repro.hw.platforms import get_platform
+    from repro.models.zoo import build_model
+    from repro.serving import ServerConfig, WorkloadSpec, simulate_serving
+
+    args = build_serve_parser().parse_args(argv)
+    # Validate everything cheap (platform, workload, server knobs) before
+    # paying for training.
+    platform = get_platform(args.platform)
+    workload = WorkloadSpec(
+        pattern=args.pattern,
+        arrival_rate=args.arrival_rate,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    server_config = ServerConfig(
+        batch_cap=args.batch_cap,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_depth=args.queue_depth,
+    )
+    if not 0.0 <= args.threshold <= 1.0:
+        raise ConfigError("--threshold must be in [0, 1]")
+    data = dataset_spec(
+        "cifar10", num_classes=4, image_hw=(16, 16), scale=0.01, noise_std=0.4, seed=7
+    ).materialize()
+    model = build_model(
+        args.model, num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=3
+    )
+    if args.exits is not None:
+        if not args.exits:
+            raise ConfigError("--exits needs at least one layer index")
+        if args.exits != sorted(set(args.exits)):
+            raise ConfigError("--exits must be strictly increasing")
+        for i in args.exits:
+            if not 0 <= i < model.num_local_layers:
+                raise ConfigError(
+                    f"--exits layer {i} out of range "
+                    f"(model has {model.num_local_layers} layers)"
+                )
+    system = NeuroFlux(
+        model,
+        data,
+        memory_budget=16 * 2**20,
+        platform=platform,
+        config=NeuroFluxConfig(batch_limit=64, seed=0),
+    )
+    print(
+        f"training {model.name} with NeuroFlux on {platform.name} "
+        f"({args.epochs} epochs)...",
+        file=sys.stderr,
+    )
+    system.run(epochs=args.epochs)
+    report = simulate_serving(
+        system,
+        workload,
+        exit_layers=args.exits,
+        threshold=args.threshold,
+        mode=args.mode,
+        config=server_config,
+    )
+    print(report.table())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -86,11 +203,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(k) for k in EXPERIMENTS)
         for key, (desc, _) in EXPERIMENTS.items():
             print(f"{key.ljust(width)}  {desc}")
+        print(f"{'serve'.ljust(width)}  early-exit serving simulator (serve --help)")
         return 0
     if args.experiment == "all":
         names = list(EXPERIMENTS)

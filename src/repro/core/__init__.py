@@ -18,6 +18,7 @@ from repro.core.controller import NeuroFlux
 from repro.core.early_exit import (
     EarlyExitModel,
     ExitCandidate,
+    MultiExitModel,
     exit_model_parameters,
     select_exit,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "ExitCandidate",
     "LinearMemoryModel",
     "MemoryProfiler",
+    "MultiExitModel",
     "NeuroFlux",
     "NeuroFluxConfig",
     "NeuroFluxReport",

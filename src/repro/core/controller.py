@@ -18,6 +18,7 @@ from repro.core.config import NeuroFluxConfig
 from repro.core.early_exit import (
     EarlyExitModel,
     ExitCandidate,
+    MultiExitModel,
     exit_model_parameters,
     select_exit,
 )
@@ -350,4 +351,30 @@ class NeuroFlux:
         stages = [s.module for s in self.specs[: exit_layer + 1]]
         return EarlyExitModel(
             stages, self.aux_heads[exit_layer], exit_layer, name=f"{self.model.name}-exit{exit_layer + 1}"
+        )
+
+    def build_multi_exit_model(
+        self, exit_layers: list[int] | None = None
+    ) -> MultiExitModel:
+        """Assemble a cascade-ready model from the trained auxiliary heads.
+
+        ``exit_layers`` selects which layers serve as confidence-gated
+        exits (increasing indices); ``None`` materializes every trained
+        layer as an exit.  The stage chain only extends to the deepest
+        requested exit, so a shallow cascade stays compact.
+        """
+        if exit_layers is None:
+            exit_layers = [s.index for s in self.specs]
+        if not exit_layers:
+            raise ConfigError("need at least one exit layer")
+        for i in exit_layers:
+            if not 0 <= i < len(self.specs):
+                raise ConfigError(f"exit layer {i} out of range")
+        stages = [s.module for s in self.specs[: exit_layers[-1] + 1]]
+        heads = [self.aux_heads[i] for i in exit_layers]
+        return MultiExitModel(
+            stages,
+            list(exit_layers),
+            heads,
+            name=f"{self.model.name}-cascade{len(exit_layers)}",
         )

@@ -6,6 +6,7 @@ from repro.evalsim.throughput import (
     convnet_throughput,
     exit_model_throughput,
     inference_throughput,
+    modules_forward_cost,
     throughput_gain,
 )
 from repro.evalsim.training_time import (
@@ -22,6 +23,7 @@ __all__ = [
     "convnet_throughput",
     "exit_model_throughput",
     "inference_throughput",
+    "modules_forward_cost",
     "simulate_bp",
     "simulate_classic_ll",
     "simulate_neuroflux",

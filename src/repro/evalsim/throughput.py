@@ -27,6 +27,24 @@ class ThroughputResult:
     flops_per_image: int
 
 
+def modules_forward_cost(
+    modules, in_shape: tuple[int, ...]
+) -> tuple[int, int, tuple[int, ...]]:
+    """FLOPs, kernel dispatches and output shape of a module pipeline.
+
+    The shared FLOP->seconds entry point for throughput evaluation and the
+    serving simulator's cascade cost model.
+    """
+    flops = 0
+    n_kernels = 0
+    shape = in_shape
+    for module in modules:
+        f, shape = module_forward_flops(module, shape)
+        flops += f
+        n_kernels += count_module_kernels(module)
+    return flops, n_kernels, shape
+
+
 def inference_throughput(
     flops_per_image: int,
     sample_bytes: int,
@@ -78,14 +96,9 @@ def exit_model_throughput(
 ) -> ThroughputResult:
     """Throughput of a NeuroFlux early-exit deployment."""
     shape: tuple[int, ...] = (1, in_channels, *input_hw)
-    flops = 0
-    for stage in exit_model.stages:
-        f, shape = module_forward_flops(stage, shape)
-        flops += f
-    f, _ = module_forward_flops(exit_model.aux_head, shape)
-    flops += f
-    n_kernels = sum(count_module_kernels(s) for s in exit_model.stages)
-    n_kernels += count_module_kernels(exit_model.aux_head)
+    flops, n_kernels, _ = modules_forward_cost(
+        [*exit_model.stages, exit_model.aux_head], shape
+    )
     sample_bytes = 4 * in_channels * input_hw[0] * input_hw[1]
     return inference_throughput(
         flops,

@@ -122,8 +122,8 @@ ALL_PLATFORMS: dict[str, Platform] = {
 
 
 def get_platform(name: str) -> Platform:
-    """Look up a platform by its short name."""
-    key = name.lower()
+    """Look up a platform by its short name (``agx-orin`` == ``agx_orin``)."""
+    key = name.lower().replace("_", "-")
     if key not in ALL_PLATFORMS:
         raise ConfigError(
             f"unknown platform {name!r}; available: {sorted(ALL_PLATFORMS)}"

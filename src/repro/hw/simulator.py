@@ -11,7 +11,7 @@ methods share the same cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.errors import ConfigError
 from repro.hw.platforms import Platform
@@ -26,27 +26,20 @@ class TimeLedger:
     cache_io: float = 0.0
     overhead: float = 0.0
     profiling: float = 0.0
+    serving: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.compute + self.data_io + self.cache_io + self.overhead + self.profiling
+        return sum(getattr(self, f.name) for f in fields(self))
 
     def merge(self, other: "TimeLedger") -> None:
-        self.compute += other.compute
-        self.data_io += other.data_io
-        self.cache_io += other.cache_io
-        self.overhead += other.overhead
-        self.profiling += other.profiling
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def as_dict(self) -> dict[str, float]:
-        return {
-            "compute": self.compute,
-            "data_io": self.data_io,
-            "cache_io": self.cache_io,
-            "overhead": self.overhead,
-            "profiling": self.profiling,
-            "total": self.total,
-        }
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["total"] = self.total
+        return d
 
 
 @dataclass
@@ -114,6 +107,21 @@ class ExecutionSimulator:
         self.ledger.data_io += io
         self.ledger.overhead += overhead
         return compute + io + overhead
+
+    def add_serving_batch(self, flops: float, batch_bytes: float, n_kernels: int) -> float:
+        """Account one served inference batch under the ``serving`` category.
+
+        Same cost shape as :meth:`add_inference_batch`, but booked
+        separately so deployment-time load is distinguishable from
+        training-time evaluation in the ledger.
+        """
+        t = (
+            self.compute_time(flops)
+            + self.transfer_time(batch_bytes)
+            + n_kernels * self.platform.kernel_launch_overhead
+        )
+        self.ledger.serving += t
+        return t
 
     def add_cache_write(self, nbytes: float, n_files: int = 1) -> float:
         t = self.storage_time(nbytes, n_files)

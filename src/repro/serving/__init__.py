@@ -1,0 +1,58 @@
+"""Early-exit inference serving simulator.
+
+Turns a trained NeuroFlux system into a simulated inference service:
+open-loop workload generation (:mod:`repro.serving.workload`), adaptive
+micro-batching (:mod:`repro.serving.batcher`), confidence-gated exit
+cascades over the per-layer auxiliary heads (:mod:`repro.serving.cascade`),
+a single-server loop charging simulated seconds to the platform's
+:class:`~repro.hw.simulator.TimeLedger` (:mod:`repro.serving.server`),
+and latency/throughput/accuracy reporting (:mod:`repro.serving.metrics`).
+
+Quick start::
+
+    from repro import NeuroFlux, build_model, dataset_spec
+    from repro.serving import WorkloadSpec, simulate_serving
+
+    data = dataset_spec("cifar10", scale=0.01).materialize()
+    model = build_model("vgg16", num_classes=10, width_multiplier=0.25)
+    system = NeuroFlux(model, data, memory_budget=64 * 2**20)
+    system.run(epochs=3)
+    report = simulate_serving(
+        system, WorkloadSpec(pattern="poisson", arrival_rate=200.0)
+    )
+    print(report.table())
+"""
+
+from repro.serving.batcher import AdaptiveBatcher, BatchPlan
+from repro.serving.cascade import (
+    CascadeCostModel,
+    CascadeRouter,
+    ExitCost,
+    RoutedBatch,
+)
+from repro.serving.metrics import RequestRecord, ServingReport
+from repro.serving.server import InferenceServer, ServerConfig, simulate_serving
+from repro.serving.workload import (
+    ARRIVAL_PATTERNS,
+    Request,
+    WorkloadSpec,
+    generate_requests,
+)
+
+__all__ = [
+    "ARRIVAL_PATTERNS",
+    "AdaptiveBatcher",
+    "BatchPlan",
+    "CascadeCostModel",
+    "CascadeRouter",
+    "ExitCost",
+    "InferenceServer",
+    "Request",
+    "RequestRecord",
+    "RoutedBatch",
+    "ServerConfig",
+    "ServingReport",
+    "WorkloadSpec",
+    "generate_requests",
+    "simulate_serving",
+]

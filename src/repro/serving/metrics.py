@@ -1,0 +1,142 @@
+"""Serving metrics: latency percentiles, throughput, exit distribution.
+
+Latency is end-to-end (arrival to completion), so it folds in queueing
+delay, batching wait and simulated service time.  Accuracy-under-cascade
+is scored against the serving dataset's labels, exposing the price (or
+lack thereof) of exiting early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle of one completed request."""
+
+    request_id: int
+    arrival_s: float
+    dispatch_s: float
+    completion_s: float
+    batch_size: int
+    exit_index: int
+    correct: bool | None = None
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_s - self.arrival_s
+
+    @property
+    def queue_delay_s(self) -> float:
+        return self.dispatch_s - self.arrival_s
+
+
+@dataclass
+class ServingReport:
+    """Aggregated outcome of one serving run."""
+
+    platform_name: str
+    pattern: str
+    arrival_rate: float
+    duration_s: float
+    mode: str
+    num_exits: int
+    records: list[RequestRecord] = field(default_factory=list)
+    n_rejected: int = 0
+    serving_time_s: float = 0.0
+
+    # -- aggregates ----------------------------------------------------------
+    @property
+    def n_completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_offered(self) -> int:
+        return self.n_completed + self.n_rejected
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.n_rejected / self.n_offered if self.n_offered else 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        """Time from stream start to the last completion."""
+        if not self.records:
+            return self.duration_s
+        return max(self.duration_s, max(r.completion_s for r in self.records))
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_completed / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    def _latencies(self) -> np.ndarray:
+        return np.array([r.latency_s for r in self.records], dtype=np.float64)
+
+    def latency_percentile(self, q: float) -> float:
+        lat = self._latencies()
+        return float(np.percentile(lat, q)) if len(lat) else float("nan")
+
+    @property
+    def mean_latency_s(self) -> float:
+        lat = self._latencies()
+        return float(lat.mean()) if len(lat) else float("nan")
+
+    @property
+    def mean_queue_delay_s(self) -> float:
+        if not self.records:
+            return float("nan")
+        return float(np.mean([r.queue_delay_s for r in self.records]))
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.records:
+            return float("nan")
+        return float(np.mean([r.batch_size for r in self.records]))
+
+    @property
+    def exit_counts(self) -> list[int]:
+        counts = [0] * self.num_exits
+        for r in self.records:
+            counts[r.exit_index] += 1
+        return counts
+
+    @property
+    def accuracy(self) -> float:
+        scored = [r for r in self.records if r.correct is not None]
+        if not scored:
+            return float("nan")
+        return sum(r.correct for r in scored) / len(scored)
+
+    # -- presentation --------------------------------------------------------
+    def table(self) -> str:
+        """Plain-text metrics table (the `serve` CLI's output)."""
+        ms = 1e3
+        rows = [
+            ("platform", self.platform_name),
+            ("pattern", f"{self.pattern} @ {self.arrival_rate:.0f} req/s "
+                        f"for {self.duration_s:g} s"),
+            ("routing", f"{self.mode} ({self.num_exits} exits)"),
+            ("completed", f"{self.n_completed}"),
+            ("rejected", f"{self.n_rejected} ({self.rejection_rate:.1%})"),
+            ("throughput", f"{self.throughput_rps:.1f} req/s"),
+            ("p50 latency", f"{self.latency_percentile(50) * ms:.2f} ms"),
+            ("p95 latency", f"{self.latency_percentile(95) * ms:.2f} ms"),
+            ("p99 latency", f"{self.latency_percentile(99) * ms:.2f} ms"),
+            ("mean latency", f"{self.mean_latency_s * ms:.2f} ms"),
+            ("mean queue delay", f"{self.mean_queue_delay_s * ms:.2f} ms"),
+            ("mean batch size", f"{self.mean_batch_size:.1f}"),
+            ("accuracy", f"{self.accuracy:.3f}"),
+            ("server busy time", f"{self.serving_time_s:.3f} s"),
+        ]
+        counts = self.exit_counts
+        for k, c in enumerate(counts):
+            share = c / self.n_completed if self.n_completed else 0.0
+            rows.append((f"exit {k + 1} requests", f"{c} ({share:.1%})"))
+        width = max(len(label) for label, _ in rows)
+        lines = [f"{label.ljust(width)}  {value}" for label, value in rows]
+        header = f"serving report -- {self.platform_name}"
+        rule = "-" * max(len(header), max(len(line) for line in lines))
+        return "\n".join([header, rule, *lines])

@@ -1,0 +1,149 @@
+"""Open-loop request-stream generation for the serving simulator.
+
+Serving load at the edge is not a steady drip: the paper's deployment
+story (millions of users hitting compact early-exit models) implies
+arrival processes with bursts and daily cycles.  Three patterns cover the
+standard cases:
+
+* ``poisson`` -- memoryless arrivals at a fixed mean rate;
+* ``bursty`` -- a two-state Markov-modulated Poisson process alternating
+  high-rate bursts with quiet gaps (same long-run mean rate);
+* ``diurnal`` -- a sinusoidally rate-modulated Poisson process generated
+  by thinning, compressing a day-like cycle into ``diurnal_period_s``.
+
+All randomness flows through :func:`repro.utils.rng.spawn_rng`, so a
+``WorkloadSpec`` is a complete, reproducible description of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import spawn_rng
+
+ARRIVAL_PATTERNS = ("poisson", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: an arrival time plus a dataset sample."""
+
+    request_id: int
+    arrival_s: float
+    sample_index: int
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of an open-loop request stream.
+
+    ``arrival_rate`` is the long-run mean in requests/second for every
+    pattern; the bursty/diurnal knobs shape how those arrivals cluster
+    without changing the mean.
+    """
+
+    pattern: str = "poisson"
+    arrival_rate: float = 100.0
+    duration_s: float = 1.0
+    burst_factor: float = 4.0
+    burst_fraction: float = 0.2
+    burst_len_s: float = 0.05
+    diurnal_period_s: float = 1.0
+    diurnal_amplitude: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ARRIVAL_PATTERNS:
+            raise ConfigError(
+                f"unknown arrival pattern {self.pattern!r}; "
+                f"available: {list(ARRIVAL_PATTERNS)}"
+            )
+        if self.arrival_rate <= 0:
+            raise ConfigError("arrival_rate must be positive")
+        if self.duration_s <= 0:
+            raise ConfigError("duration_s must be positive")
+        if self.burst_factor < 1:
+            raise ConfigError("burst_factor must be >= 1")
+        if not 0 < self.burst_fraction < 1:
+            raise ConfigError("burst_fraction must be in (0, 1)")
+        if self.burst_factor * self.burst_fraction >= 1:
+            raise ConfigError(
+                "burst_factor * burst_fraction must be < 1 so the quiet "
+                "state keeps a non-negative rate"
+            )
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ConfigError("diurnal_amplitude must be in [0, 1)")
+
+
+def _poisson_times(rng: np.random.Generator, rate: float, duration: float) -> list[float]:
+    times = []
+    t = rng.exponential(1.0 / rate)
+    while t < duration:
+        times.append(t)
+        t += rng.exponential(1.0 / rate)
+    return times
+
+
+def _bursty_times(spec: WorkloadSpec, rng: np.random.Generator) -> list[float]:
+    # Two-state MMPP.  The quiet-state rate is solved so the time-weighted
+    # mean over both states equals ``arrival_rate``.
+    burst_rate = spec.arrival_rate * spec.burst_factor
+    quiet_rate = (
+        spec.arrival_rate
+        * (1.0 - spec.burst_factor * spec.burst_fraction)
+        / (1.0 - spec.burst_fraction)
+    )
+    quiet_len = spec.burst_len_s * (1.0 - spec.burst_fraction) / spec.burst_fraction
+    times = []
+    t = 0.0
+    in_burst = bool(rng.random() < spec.burst_fraction)
+    while t < spec.duration_s:
+        mean_len = spec.burst_len_s if in_burst else quiet_len
+        rate = burst_rate if in_burst else quiet_rate
+        dwell = rng.exponential(mean_len)
+        end = min(t + dwell, spec.duration_s)
+        if rate > 0:
+            times.extend(t + u for u in _poisson_times(rng, rate, end - t))
+        t = end
+        in_burst = not in_burst
+    return times
+
+
+def _diurnal_times(spec: WorkloadSpec, rng: np.random.Generator) -> list[float]:
+    # Thinning (Lewis & Shedler): generate at the peak rate, accept with
+    # probability rate(t) / peak.
+    peak = spec.arrival_rate * (1.0 + spec.diurnal_amplitude)
+    times = []
+    for t in _poisson_times(rng, peak, spec.duration_s):
+        rate_t = spec.arrival_rate * (
+            1.0 + spec.diurnal_amplitude * np.sin(2.0 * np.pi * t / spec.diurnal_period_s)
+        )
+        if rng.random() < rate_t / peak:
+            times.append(t)
+    return times
+
+
+def generate_requests(spec: WorkloadSpec, n_samples: int) -> list[Request]:
+    """Materialize the request stream described by ``spec``.
+
+    Each request references a uniformly drawn sample index in
+    ``[0, n_samples)`` -- the serving dataset it will be scored against.
+    """
+    if n_samples < 1:
+        raise ConfigError("n_samples must be >= 1")
+    rng = spawn_rng(spec.seed, "serving/arrivals", spec.pattern)
+    if spec.pattern == "poisson":
+        times = _poisson_times(rng, spec.arrival_rate, spec.duration_s)
+    elif spec.pattern == "bursty":
+        times = _bursty_times(spec, rng)
+    else:
+        times = _diurnal_times(spec, rng)
+    sample_rng = spawn_rng(spec.seed, "serving/samples", spec.pattern)
+    indices = sample_rng.integers(0, n_samples, size=len(times))
+    return [
+        Request(request_id=i, arrival_s=float(t), sample_index=int(s))
+        for i, (t, s) in enumerate(zip(times, indices))
+    ]

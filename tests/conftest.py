@@ -21,6 +21,28 @@ def tiny_dataset():
     return spec.materialize()
 
 
+@pytest.fixture(scope="session")
+def served_system(tiny_dataset):
+    """A NeuroFlux system trained well enough to exercise serving cascades.
+
+    Session-scoped: serving only reads the trained weights, so the tests
+    in the ``test_serving_*`` modules can share one training run.
+    """
+    from repro.core.config import NeuroFluxConfig
+    from repro.core.controller import NeuroFlux
+
+    system = NeuroFlux(
+        build_model(
+            "vgg11", num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=3
+        ),
+        tiny_dataset,
+        memory_budget=16 * 2**20,
+        config=NeuroFluxConfig(batch_limit=64, seed=0),
+    )
+    system.run(epochs=5)
+    return system
+
+
 @pytest.fixture()
 def small_vgg():
     return build_model(

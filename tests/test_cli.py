@@ -45,3 +45,47 @@ class TestMain:
         for key, (desc, runner) in EXPERIMENTS.items():
             assert desc
             assert callable(runner)
+
+
+class TestServe:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.platform == "agx_orin"
+        assert args.pattern == "poisson"
+        assert args.arrival_rate == 200.0
+
+    def test_serve_end_to_end(self, capsys):
+        """The acceptance-criteria command, scaled down for test runtime."""
+        assert (
+            main(
+                [
+                    "serve",
+                    "--platform",
+                    "agx_orin",
+                    "--arrival-rate",
+                    "200",
+                    "--pattern",
+                    "poisson",
+                    "--duration",
+                    "0.5",
+                    "--epochs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for needle in ("p50 latency", "p95 latency", "p99 latency", "throughput", "exit 1 requests"):
+            assert needle in out
+
+    def test_serve_bad_inputs_fail_fast(self, capsys):
+        """Invalid platform/pattern/threshold must error out cleanly
+        before any training happens."""
+        assert main(["serve", "--platform", "tpu-v9"]) == 2
+        assert "unknown platform" in capsys.readouterr().err
+        assert main(["serve", "--pattern", "steady"]) == 2
+        assert "unknown arrival pattern" in capsys.readouterr().err
+        assert main(["serve", "--threshold", "1.5"]) == 2
+        assert "--threshold" in capsys.readouterr().err

@@ -43,6 +43,35 @@ class TestSelectExit:
         with pytest.raises(ConfigError):
             select_exit([_cand(0, 0.5, 1)], tolerance=-0.1)
 
+    @pytest.mark.parametrize("trial", range(20))
+    def test_selection_invariants_hold_on_random_candidates(self, trial):
+        """Property: for any candidate set, the winner is feasible (within
+        ``tolerance`` of the best accuracy) and minimal in
+        ``(num_parameters, layer_index)`` among the feasible exits."""
+        from repro.utils.rng import spawn_rng
+
+        rng = spawn_rng(trial, "select-exit-property")
+        tolerance = float(rng.uniform(0.0, 0.1))
+        n = int(rng.integers(1, 12))
+        candidates = [
+            _cand(
+                layer,
+                float(rng.uniform(0.2, 1.0)),
+                int(rng.integers(1, 1_000_000)),
+            )
+            for layer in range(n)
+        ]
+        chosen = select_exit(candidates, tolerance=tolerance)
+        best_acc = max(c.val_accuracy for c in candidates)
+        feasible = [c for c in candidates if c.val_accuracy >= best_acc - tolerance]
+        assert chosen in feasible
+        assert chosen.val_accuracy >= best_acc - tolerance
+        for other in feasible:
+            assert (chosen.num_parameters, chosen.layer_index) <= (
+                other.num_parameters,
+                other.layer_index,
+            )
+
 
 class TestEarlyExitModel:
     @pytest.fixture()
@@ -60,6 +89,21 @@ class TestEarlyExitModel:
         preds = exit_model.predict(x)
         assert preds.shape == (3,)
         assert preds.dtype == np.int64 or np.issubdtype(preds.dtype, np.integer)
+
+    def test_predict_proba_is_softmax_of_logits(self, exit_model):
+        from repro.nn.functional import softmax
+
+        x = rand_image_batch(3, 3, 16, 16, dtype=np.float32)
+        probs = exit_model.predict_proba(x)
+        np.testing.assert_allclose(probs, softmax(exit_model.forward(x), axis=1))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+        assert (probs >= 0).all()
+
+    def test_predict_delegates_to_predict_proba(self, exit_model):
+        x = rand_image_batch(5, 3, 16, 16, dtype=np.float32)
+        np.testing.assert_array_equal(
+            exit_model.predict(x), np.argmax(exit_model.predict_proba(x), axis=1)
+        )
 
     def test_starts_in_eval_mode(self, exit_model):
         assert not exit_model.training

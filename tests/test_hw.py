@@ -116,3 +116,32 @@ class TestTimeLedger:
         d = TimeLedger(compute=1.0).as_dict()
         assert d["compute"] == 1.0
         assert d["total"] == 1.0
+
+    def test_as_dict_keys_track_fields(self):
+        """Regression: adding a cost category (e.g. ``serving``) must show
+        up in ``as_dict``, ``merge`` and ``total`` automatically."""
+        from dataclasses import fields
+
+        field_names = [f.name for f in fields(TimeLedger)]
+        assert "serving" in field_names
+        d = TimeLedger().as_dict()
+        assert set(d) == {*field_names, "total"}
+
+    def test_merge_and_total_cover_every_field(self):
+        from dataclasses import fields
+
+        n = len(fields(TimeLedger))
+        a = TimeLedger(*[float(i + 1) for i in range(n)])
+        b = TimeLedger(*[10.0] * n)
+        a.merge(b)
+        for i, f in enumerate(fields(TimeLedger)):
+            assert getattr(a, f.name) == pytest.approx(i + 11.0)
+        assert a.total == pytest.approx(sum(i + 11.0 for i in range(n)))
+
+    def test_serving_batch_charged_to_serving(self):
+        sim = ExecutionSimulator(AGX_ORIN)
+        t = sim.add_serving_batch(1e9, 1e6, n_kernels=10)
+        assert t > 0
+        assert sim.ledger.serving == pytest.approx(t)
+        assert sim.ledger.compute == 0.0
+        assert sim.ledger.total == pytest.approx(t)

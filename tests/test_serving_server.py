@@ -1,0 +1,187 @@
+"""Tests for the serving loop, admission control and metrics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.platforms import AGX_ORIN, RASPBERRY_PI_4B
+from repro.serving import ServerConfig, ServingReport, WorkloadSpec, simulate_serving
+from repro.serving.metrics import RequestRecord
+
+
+def _workload(rate=200.0, pattern="poisson", duration=1.0, seed=1):
+    return WorkloadSpec(
+        pattern=pattern, arrival_rate=rate, duration_s=duration, seed=seed
+    )
+
+
+@pytest.fixture(scope="module")
+def cascade_report(served_system):
+    return simulate_serving(served_system, _workload(), threshold=0.5)
+
+
+class TestServingRun:
+    def test_records_are_causally_ordered(self, cascade_report):
+        for r in cascade_report.records:
+            assert r.dispatch_s >= r.arrival_s
+            assert r.completion_s > r.dispatch_s
+            assert r.latency_s > 0
+            assert r.queue_delay_s >= 0
+
+    def test_all_offered_requests_accounted(self, served_system, cascade_report):
+        from repro.serving.workload import generate_requests
+
+        offered = generate_requests(_workload(), len(served_system.data.x_test))
+        assert cascade_report.n_completed + cascade_report.n_rejected == len(offered)
+        assert cascade_report.n_rejected == 0  # light load, deep queue
+
+    def test_percentiles_ordered(self, cascade_report):
+        p50 = cascade_report.latency_percentile(50)
+        p95 = cascade_report.latency_percentile(95)
+        p99 = cascade_report.latency_percentile(99)
+        assert p50 <= p95 <= p99
+
+    def test_serving_charged_to_serving_category_only(self, served_system):
+        """The server loop books all simulated seconds under ``serving``."""
+        from repro.serving.cascade import CascadeCostModel, CascadeRouter
+        from repro.serving.server import InferenceServer
+        from repro.serving.workload import generate_requests
+
+        model = served_system.build_multi_exit_model()
+        server = InferenceServer(
+            CascadeRouter(model, threshold=0.5),
+            CascadeCostModel(
+                model, served_system.model.in_channels, served_system.model.input_hw
+            ),
+            AGX_ORIN,
+            served_system.data.x_test,
+            served_system.data.y_test,
+        )
+        report = server.serve(
+            generate_requests(_workload(), len(served_system.data.x_test)), _workload()
+        )
+        ledger = server.sim.ledger
+        assert ledger.serving > 0
+        assert report.serving_time_s == ledger.serving
+        assert ledger.total == pytest.approx(ledger.serving)
+
+    def test_deterministic(self, served_system, cascade_report):
+        again = simulate_serving(served_system, _workload(), threshold=0.5)
+        assert again.mean_latency_s == cascade_report.mean_latency_s
+        assert again.exit_counts == cascade_report.exit_counts
+        assert again.accuracy == cascade_report.accuracy
+
+    def test_exit_distribution_spreads_past_first_exit(self, cascade_report):
+        counts = cascade_report.exit_counts
+        assert sum(counts) == cascade_report.n_completed
+        assert sum(counts[1:]) > 0  # some requests escalate
+
+
+class TestCascadeAcceptance:
+    """The ISSUE acceptance shape: cascade beats the degenerate policies."""
+
+    def test_cascade_more_accurate_than_shallow_only(self, served_system, cascade_report):
+        shallow = simulate_serving(served_system, _workload(), mode="shallow-only")
+        assert cascade_report.accuracy > shallow.accuracy
+
+    def test_cascade_faster_than_deepest_only(self, served_system, cascade_report):
+        deepest = simulate_serving(served_system, _workload(), mode="deepest-only")
+        assert cascade_report.mean_latency_s < deepest.mean_latency_s
+        assert cascade_report.serving_time_s < deepest.serving_time_s
+
+
+class TestAdmissionControl:
+    def test_overload_rejects_and_bounds_queue(self, served_system):
+        """A slow platform under a hot stream must shed load, and every
+        offered request is either completed or rejected."""
+        report = simulate_serving(
+            served_system,
+            _workload(rate=10000.0, duration=0.2),
+            platform=RASPBERRY_PI_4B,
+            config=ServerConfig(batch_cap=8, max_wait_s=0.002, queue_depth=16),
+        )
+        assert report.n_rejected > 0
+        assert report.rejection_rate > 0
+        assert report.n_completed + report.n_rejected == report.n_offered
+
+    def test_deeper_queue_rejects_less(self, served_system):
+        shallow_q = simulate_serving(
+            served_system,
+            _workload(rate=10000.0, duration=0.2),
+            platform=RASPBERRY_PI_4B,
+            config=ServerConfig(batch_cap=8, max_wait_s=0.002, queue_depth=8),
+        )
+        deep_q = simulate_serving(
+            served_system,
+            _workload(rate=10000.0, duration=0.2),
+            platform=RASPBERRY_PI_4B,
+            config=ServerConfig(batch_cap=8, max_wait_s=0.002, queue_depth=64),
+        )
+        assert deep_q.n_rejected < shallow_q.n_rejected
+
+    def test_queue_depth_validation(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(queue_depth=0)
+
+
+class TestBatchingBehavior:
+    def test_higher_load_forms_larger_batches(self, served_system):
+        low = simulate_serving(served_system, _workload(rate=100.0), threshold=0.5)
+        high = simulate_serving(served_system, _workload(rate=1000.0), threshold=0.5)
+        assert high.mean_batch_size > low.mean_batch_size
+
+    def test_batch_cap_respected(self, served_system):
+        report = simulate_serving(
+            served_system,
+            _workload(rate=1000.0),
+            config=ServerConfig(batch_cap=4, max_wait_s=0.005, queue_depth=512),
+        )
+        assert max(r.batch_size for r in report.records) <= 4
+
+    def test_bursty_pattern_has_fatter_tail_than_poisson(self, served_system):
+        poisson = simulate_serving(
+            served_system, _workload(rate=400.0, duration=2.0), threshold=0.5
+        )
+        bursty = simulate_serving(
+            served_system,
+            _workload(rate=400.0, pattern="bursty", duration=2.0),
+            threshold=0.5,
+        )
+        assert bursty.latency_percentile(99) > poisson.latency_percentile(99)
+
+
+class TestServingReportEdgeCases:
+    def test_empty_report(self):
+        report = ServingReport(
+            platform_name="x",
+            pattern="poisson",
+            arrival_rate=1.0,
+            duration_s=1.0,
+            mode="cascade",
+            num_exits=2,
+        )
+        assert report.n_completed == 0
+        assert report.throughput_rps == 0.0
+        assert report.rejection_rate == 0.0
+        assert report.exit_counts == [0, 0]
+        import math
+
+        assert math.isnan(report.accuracy)
+        assert math.isnan(report.mean_latency_s)
+        assert "serving report" in report.table()
+
+    def test_table_contains_headline_metrics(self, cascade_report):
+        text = cascade_report.table()
+        for needle in ("p50", "p95", "p99", "throughput", "exit 1", "accuracy"):
+            assert needle in text
+
+    def test_record_derived_times(self):
+        r = RequestRecord(
+            request_id=0,
+            arrival_s=1.0,
+            dispatch_s=1.5,
+            completion_s=2.5,
+            batch_size=3,
+            exit_index=0,
+        )
+        assert r.latency_s == pytest.approx(1.5)
+        assert r.queue_delay_s == pytest.approx(0.5)

@@ -1,0 +1,137 @@
+"""Tests for the serving workload generator and adaptive batcher."""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.batcher import AdaptiveBatcher
+from repro.serving.workload import (
+    ARRIVAL_PATTERNS,
+    Request,
+    WorkloadSpec,
+    generate_requests,
+)
+
+
+def _inter_arrivals(requests):
+    times = np.array([r.arrival_s for r in requests])
+    return np.diff(times)
+
+
+class TestWorkloadSpec:
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(pattern="steady")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(arrival_rate=0)
+
+    def test_rejects_burst_mean_violation(self):
+        # burst_factor * burst_fraction >= 1 would need a negative quiet rate.
+        with pytest.raises(ConfigError):
+            WorkloadSpec(pattern="bursty", burst_factor=6.0, burst_fraction=0.2)
+
+
+class TestGenerateRequests:
+    @pytest.mark.parametrize("pattern", ARRIVAL_PATTERNS)
+    def test_sorted_in_window_and_indexed(self, pattern):
+        spec = WorkloadSpec(pattern=pattern, arrival_rate=300.0, duration_s=2.0, seed=3)
+        reqs = generate_requests(spec, n_samples=50)
+        times = [r.arrival_s for r in reqs]
+        assert times == sorted(times)
+        assert all(0 <= t < spec.duration_s for t in times)
+        assert all(0 <= r.sample_index < 50 for r in reqs)
+        assert [r.request_id for r in reqs] == list(range(len(reqs)))
+
+    @pytest.mark.parametrize("pattern", ARRIVAL_PATTERNS)
+    def test_deterministic_per_seed(self, pattern):
+        spec = WorkloadSpec(pattern=pattern, arrival_rate=200.0, seed=5)
+        a = generate_requests(spec, n_samples=10)
+        b = generate_requests(spec, n_samples=10)
+        assert a == b
+        c = generate_requests(WorkloadSpec(pattern=pattern, arrival_rate=200.0, seed=6), 10)
+        assert a != c
+
+    @pytest.mark.parametrize("pattern", ARRIVAL_PATTERNS)
+    def test_mean_rate_close_to_nominal(self, pattern):
+        spec = WorkloadSpec(
+            pattern=pattern, arrival_rate=500.0, duration_s=20.0, seed=0
+        )
+        reqs = generate_requests(spec, n_samples=10)
+        observed = len(reqs) / spec.duration_s
+        assert observed == pytest.approx(spec.arrival_rate, rel=0.15)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        """The MMPP's inter-arrival CV must exceed Poisson's (which is ~1)."""
+        poisson = generate_requests(
+            WorkloadSpec(pattern="poisson", arrival_rate=400.0, duration_s=20.0), 10
+        )
+        bursty = generate_requests(
+            WorkloadSpec(
+                pattern="bursty", arrival_rate=400.0, duration_s=20.0, burst_factor=4.0
+            ),
+            10,
+        )
+        def cv(reqs):
+            gaps = _inter_arrivals(reqs)
+            return gaps.std() / gaps.mean()
+        assert cv(bursty) > cv(poisson) * 1.1
+
+    def test_diurnal_rate_varies_across_cycle(self):
+        """First half-period (sin > 0) must out-arrive the second half."""
+        spec = WorkloadSpec(
+            pattern="diurnal",
+            arrival_rate=400.0,
+            duration_s=10.0,
+            diurnal_period_s=10.0,
+            diurnal_amplitude=0.8,
+        )
+        reqs = generate_requests(spec, n_samples=10)
+        first = sum(1 for r in reqs if r.arrival_s < 5.0)
+        second = len(reqs) - first
+        assert first > second * 1.5
+
+    def test_requires_samples(self):
+        with pytest.raises(ConfigError):
+            generate_requests(WorkloadSpec(), n_samples=0)
+
+
+def _req(i, t):
+    return Request(request_id=i, arrival_s=t, sample_index=0)
+
+
+class TestAdaptiveBatcher:
+    def test_window_idle_server(self):
+        batcher = AdaptiveBatcher(batch_cap=4, max_wait_s=0.01)
+        start, deadline = batcher.window(_req(0, 1.0), free_s=0.5)
+        assert start == 1.0
+        assert deadline == pytest.approx(1.01)
+
+    def test_window_busy_server_past_deadline(self):
+        """A server freeing up after the deadline dispatches immediately."""
+        batcher = AdaptiveBatcher(batch_cap=4, max_wait_s=0.01)
+        start, deadline = batcher.window(_req(0, 1.0), free_s=2.0)
+        assert start == 2.0
+        assert deadline == 2.0
+
+    def test_take_respects_cap_and_order(self):
+        batcher = AdaptiveBatcher(batch_cap=2, max_wait_s=0.01)
+        waiting = deque(_req(i, 0.0) for i in range(5))
+        plan = batcher.take(waiting, dispatch_s=0.5)
+        assert [r.request_id for r in plan.requests] == [0, 1]
+        assert len(waiting) == 3
+        assert plan.size == 2
+        assert plan.max_queue_delay_s == pytest.approx(0.5)
+
+    def test_take_empty_raises(self):
+        with pytest.raises(ConfigError):
+            AdaptiveBatcher().take(deque(), 0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            AdaptiveBatcher(batch_cap=0)
+        with pytest.raises(ConfigError):
+            AdaptiveBatcher(max_wait_s=-1.0)
