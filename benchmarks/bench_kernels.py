@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Kernel benchmark runner: seed path vs fused+workspace path.
+
+Times the im2col/col2im lowering, fused conv, pooling fast paths (micro)
+and full backprop / local-learning training steps (macro), then writes
+``BENCH_kernels.json`` -- the committed perf trajectory future PRs regress
+against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py           # full run
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_kernels.py --suite macro --batch 64
+
+See :mod:`repro.perf.bench` for the implementation.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

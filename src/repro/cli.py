@@ -8,10 +8,14 @@ Usage::
     python -m repro.cli table2
     python -m repro.cli all          # everything (slow)
     python -m repro.cli serve --platform agx_orin --arrival-rate 200
+    python -m repro.cli bench --quick
 
 Each command prints the reproduced figure/table as a plain-text table.
 ``serve`` trains a small NeuroFlux system and runs the early-exit
 inference serving simulator against it (see :mod:`repro.serving`).
+``bench`` times the kernel substrate, seed path vs fused+workspace path
+(see :mod:`repro.perf.bench`), and records the trajectory in
+``BENCH_kernels.json``.
 """
 
 from __future__ import annotations
@@ -207,12 +211,17 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.perf.bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(k) for k in EXPERIMENTS)
         for key, (desc, _) in EXPERIMENTS.items():
             print(f"{key.ljust(width)}  {desc}")
         print(f"{'serve'.ljust(width)}  early-exit serving simulator (serve --help)")
+        print(f"{'bench'.ljust(width)}  kernel wall-clock benchmarks (bench --help)")
         return 0
     if args.experiment == "all":
         names = list(EXPERIMENTS)

@@ -35,6 +35,7 @@ from repro.hw.simulator import ExecutionSimulator
 from repro.memory.tracker import SimulatedGpu
 from repro.models.base import ConvNet
 from repro.nn import make_optimizer
+from repro.perf import BufferPool
 from repro.training.common import HistoryPoint, TrainResult, evaluate_classifier
 from repro.utils.rng import spawn_rng
 
@@ -175,6 +176,13 @@ class NeuroFlux:
         sim = ExecutionSimulator(self.platform)
         gpu = SimulatedGpu(budget_bytes=self.memory_budget)
         store = ActivationStore(cfg.cache_dir)
+
+        # One buffer pool for the whole run: block workers, aux heads and
+        # the cached-forward passes all reuse the same per-step scratch.
+        ws_pool = BufferPool()
+        self.model.attach_workspace(ws_pool)
+        for aux in self.aux_heads:
+            aux.attach_workspace(ws_pool)
 
         blocks, profiling_flops = self.plan()
         profiling_time = sim.add_profiling(
@@ -343,6 +351,9 @@ class NeuroFlux:
             report.cache_bytes_written = store.bytes_written
             report.profiling_time_s = profiling_time
         finally:
+            self.model.detach_workspace()
+            for aux in self.aux_heads:
+                aux.detach_workspace()
             store.close()
         return report
 

@@ -19,7 +19,7 @@ from repro.flops.count import module_forward_flops, training_step_flops
 from repro.hw.simulator import ExecutionSimulator
 from repro.models.layers import LayerSpec
 from repro.nn import CrossEntropyLoss
-from repro.nn.module import Module
+from repro.nn.module import Module, run_backward
 from repro.nn.optim import Optimizer
 from repro.training.common import count_module_kernels
 
@@ -105,7 +105,9 @@ class BlockWorker:
                 loss = self.loss_fn(z, y)  # Alg. 2 line 5
                 dz = self.loss_fn.backward()
                 dout = aux.backward(dz)  # Alg. 2 line 6
-                spec.module.backward(dout)
+                # Local learning: the stage's input gradient is discarded,
+                # so its GEMM + scatter kernels are skipped outright.
+                run_backward(spec.module, dout, need_input_grad=False)
                 opt.step()  # Alg. 2 line 7
                 opt.zero_grad()
                 x = out

@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.models.layers import LayerSpec
-from repro.nn.module import Module
+from repro.nn.module import Module, run_backward
 
 
 class ConvNet(Module):
@@ -45,12 +45,22 @@ class ConvNet(Module):
         assert self.head is not None
         return self.head.forward(x)
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad_out: np.ndarray, need_input_grad: bool = True
+    ) -> np.ndarray | None:
+        """End-to-end reverse pass.
+
+        Trainers never use the gradient with respect to the model *input*;
+        they pass ``need_input_grad=False`` so the first stage can skip its
+        input-gradient kernels (parameter gradients are unaffected).
+        """
         assert self.head is not None
         grad = self.head.backward(grad_out)
-        for stage in reversed(self.stages):
+        for stage in reversed(self.stages[1:]):
             grad = stage.backward(grad)
-        return grad
+        if not self.stages:
+            return grad if need_input_grad else None
+        return run_backward(self.stages[0], grad, need_input_grad)
 
     def forward_features(self, x: np.ndarray, upto: int | None = None) -> np.ndarray:
         """Run the stage chain only (no head), optionally stopping early.

@@ -23,12 +23,14 @@ from repro.nn import (
     ReLU,
     Sequential,
 )
-from repro.nn.module import Module
+from repro.nn.module import Module, run_backward
 from repro.utils.rng import spawn_rng
 
 
 class BasicBlock(Module):
     """Two 3x3 convs with BN and a (possibly projected) skip connection."""
+
+    supports_no_input_grad = True
 
     def __init__(
         self,
@@ -36,20 +38,21 @@ class BasicBlock(Module):
         out_channels: int,
         stride: int = 1,
         rng: np.random.Generator | None = None,
+        fused: bool = False,
     ):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.stride = stride
-        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng, fused=fused)
         self.bn1 = BatchNorm2d(out_channels)
         self.relu1 = ReLU()
-        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng, fused=fused)
         self.bn2 = BatchNorm2d(out_channels)
         if stride != 1 or in_channels != out_channels:
             self.shortcut: Module = Sequential(
-                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng, fused=fused),
                 BatchNorm2d(out_channels),
             )
         else:
@@ -69,14 +72,18 @@ class BasicBlock(Module):
             )
         return self.relu_out.forward(main + short)
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad_out: np.ndarray, need_input_grad: bool = True
+    ) -> np.ndarray | None:
         grad = self.relu_out.backward(grad_out)
         dmain = self.bn2.backward(grad)
         dmain = self.conv2.backward(dmain)
         dmain = self.relu1.backward(dmain)
         dmain = self.bn1.backward(dmain)
-        dmain = self.conv1.backward(dmain)
-        dshort = self.shortcut.backward(grad)
+        dmain = run_backward(self.conv1, dmain, need_input_grad)
+        dshort = run_backward(self.shortcut, grad, need_input_grad)
+        if not need_input_grad:
+            return None
         return dmain + dshort
 
     def output_hw(self, in_hw: tuple[int, int]) -> tuple[int, int]:
@@ -122,13 +129,14 @@ class ResNet(ConvNet):
         width_multiplier: float = 1.0,
         seed: int = 0,
         blocks_per_stage: tuple[int, ...] = (2, 2, 2, 2),
+        fused: bool = False,
     ):
         super().__init__(variant, input_hw, num_classes)
         widths = [scale_width(c, width_multiplier) for c in (64, 128, 256, 512)]
         stem_rng = spawn_rng(seed, f"{variant}/stem")
         stem_width = widths[0]
         stem = Sequential(
-            Conv2d(self.in_channels, stem_width, 3, stride=1, padding=1, bias=False, rng=stem_rng),
+            Conv2d(self.in_channels, stem_width, 3, stride=1, padding=1, bias=False, rng=stem_rng, fused=fused),
             BatchNorm2d(stem_width),
             ReLU(),
         )
@@ -158,7 +166,7 @@ class ResNet(ConvNet):
                 want_stride = 2 if (stage_i > 0 and block_i == 0) else 1
                 stride = want_stride if min(hw) >= 2 else 1
                 rng = spawn_rng(seed, f"{variant}/s{stage_i}b{block_i}")
-                block = BasicBlock(in_ch, width, stride=stride, rng=rng)
+                block = BasicBlock(in_ch, width, stride=stride, rng=rng, fused=fused)
                 out_hw = block.output_hw(hw)
                 downsamples = stride > 1
                 if downsamples:
@@ -185,7 +193,7 @@ class ResNet(ConvNet):
         self.head = Sequential(
             GlobalAvgPool2d(),
             Flatten(),
-            Linear(in_ch, num_classes, rng=head_rng),
+            Linear(in_ch, num_classes, rng=head_rng, fused=fused),
         )
 
 

@@ -13,15 +13,11 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.models.base import ConvNet, scale_width
-from repro.models.layers import LayerSpec
+from repro.models.layers import LayerSpec, conv_unit
 from repro.nn import (
-    BatchNorm2d,
-    Conv2d,
     Flatten,
     GlobalAvgPool2d,
     Linear,
-    MaxPool2d,
-    ReLU,
     Sequential,
 )
 from repro.utils.rng import spawn_rng
@@ -51,6 +47,7 @@ class VGG(ConvNet):
         width_multiplier: float = 1.0,
         batch_norm: bool = True,
         seed: int = 0,
+        fused: bool = False,
     ):
         if variant not in VGG_CONFIGS:
             raise ConfigError(f"unknown VGG variant {variant!r}")
@@ -65,22 +62,20 @@ class VGG(ConvNet):
         while i < len(config):
             width = scale_width(int(config[i]), width_multiplier)
             rng = spawn_rng(rng_root, f"{variant}/conv{layer_idx}")
-            parts = [
-                Conv2d(in_ch, width, 3, stride=1, padding=1, bias=not batch_norm, rng=rng),
-            ]
-            if batch_norm:
-                parts.append(BatchNorm2d(width))
-            parts.append(ReLU())
+            pool = None
             out_hw = hw
             downsamples = False
             # Fold a following 'M' into this unit, if the map is still poolable.
             if i + 1 < len(config) and config[i + 1] == "M":
                 if min(hw) >= 2:
-                    parts.append(MaxPool2d(2))
+                    pool = 2
                     out_hw = (hw[0] // 2, hw[1] // 2)
                     downsamples = True
                 i += 1  # consume the 'M' marker either way
-            stage = Sequential(*parts)
+            stage = conv_unit(
+                in_ch, width, 3, stride=1, padding=1,
+                batch_norm=batch_norm, fused=fused, rng=rng, pool=pool,
+            )
             if downsamples:
                 downsampled_yet = True
             self.stages.append(stage)
@@ -106,7 +101,7 @@ class VGG(ConvNet):
         self.head = Sequential(
             GlobalAvgPool2d(),
             Flatten(),
-            Linear(in_ch, num_classes, rng=head_rng),
+            Linear(in_ch, num_classes, rng=head_rng, fused=fused),
         )
 
 

@@ -11,9 +11,10 @@ from repro.nn.activations import LeakyReLU, ReLU, Tanh
 from repro.nn.conv import Conv2d, DepthwiseConv2d
 from repro.nn.dropout import Dropout
 from repro.nn.flatten import Flatten
+from repro.nn.fused import FusedConvBlock
 from repro.nn.linear import Linear
 from repro.nn.losses import CrossEntropyLoss, MSELoss
-from repro.nn.module import Identity, Module, Parameter, Sequential
+from repro.nn.module import Identity, Module, Parameter, Sequential, run_backward
 from repro.nn.normalization import BatchNorm2d
 from repro.nn.optim import SGD, Adam, Optimizer, make_optimizer
 from repro.nn.pooling import AdaptiveAvgPool2d, AvgPool2d, GlobalAvgPool2d, MaxPool2d
@@ -28,6 +29,7 @@ __all__ = [
     "DepthwiseConv2d",
     "Dropout",
     "Flatten",
+    "FusedConvBlock",
     "GlobalAvgPool2d",
     "Identity",
     "LeakyReLU",
@@ -42,4 +44,5 @@ __all__ = [
     "Sequential",
     "Tanh",
     "make_optimizer",
+    "run_backward",
 ]

@@ -5,6 +5,20 @@ becomes one large matrix multiply, which is the fastest formulation available
 to a pure-numpy substrate.  ``im2col`` extracts sliding windows with stride
 tricks (zero-copy until the final reshape) and ``col2im`` is its exact
 adjoint, verified by property tests.
+
+Two lowering layouts coexist:
+
+* the original NCHW layout (``im2col``/``col2im``), kept bit-for-bit stable
+  because the default training paths run on it; and
+* an NHWC layout (``im2col_nhwc``/``col2im_nhwc``) used by the fused conv
+  path, where window extraction and the scatter-add adjoint move contiguous
+  channel runs instead of strided single floats, and where the conv GEMM
+  writes its output in the layout the next kernel wants.
+
+``overlap_add_1d`` and the fast paths inside ``col2im_nhwc`` replace the
+k x k Python scatter loop with single reshaped assignments for the two
+geometries that dominate real models: ``stride == kernel`` (pooling-style
+exact tiling) and ``stride == 1`` (same-size convs).
 """
 
 from __future__ import annotations
@@ -58,17 +72,41 @@ def sliding_windows(
 
 
 def im2col(
-    x: np.ndarray, kernel: int, stride: int, padding: int
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    out: np.ndarray | None = None,
+    padded: np.ndarray | None = None,
 ) -> tuple[np.ndarray, tuple[int, int]]:
     """Lower an NCHW batch to a (N*out_h*out_w, C*k*k) matrix.
 
-    Returns the column matrix and the spatial output size.
+    Returns the column matrix and the spatial output size.  ``out`` is an
+    optional preallocated column buffer; ``padded`` an optional padded
+    scratch (N, C, H+2p, W+2p) whose border is already zero -- workspace
+    callers pass both so the lowering allocates nothing.
     """
-    xp = pad2d(x, padding)
+    if padded is not None and padding:
+        n, c, h, w = x.shape
+        if padded.shape != (n, c, h + 2 * padding, w + 2 * padding):
+            raise ShapeError(
+                f"padded buffer {padded.shape} does not match input {x.shape}"
+            )
+        padded[:, :, padding : padding + h, padding : padding + w] = x
+        xp = padded
+    else:
+        xp = pad2d(x, padding)
     win = sliding_windows(xp, kernel, stride)
     n, c, out_h, out_w, _, _ = win.shape
-    cols = win.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel * kernel)
-    return np.ascontiguousarray(cols), (out_h, out_w)
+    if out is None:
+        cols = win.transpose(0, 2, 3, 1, 4, 5).reshape(
+            n * out_h * out_w, c * kernel * kernel
+        )
+        return np.ascontiguousarray(cols), (out_h, out_w)
+    out.reshape(n, out_h, out_w, c, kernel, kernel)[...] = win.transpose(
+        0, 2, 3, 1, 4, 5
+    )
+    return out, (out_h, out_w)
 
 
 def col2im(
@@ -95,17 +133,204 @@ def col2im(
     return dxp[:, :, padding : padding + h, padding : padding + w]
 
 
-def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax."""
+def pad2d_nhwc(
+    x: np.ndarray, padding: int, out: np.ndarray | None = None, fresh: bool = True
+) -> np.ndarray:
+    """Zero-pad an NCHW batch into an NHWC buffer (layout change + pad fused).
+
+    This is the entry copy of the fused conv path: the one pass the seed
+    path already pays for ``np.pad`` doubles as the NCHW->NHWC transpose.
+    ``out`` is the padded (N, H+2p, W+2p, C) target; when ``fresh`` is
+    False its border is assumed to still be zero from a previous call and
+    only the interior is rewritten.
+    """
+    n, c, h, w = x.shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    if out is None:
+        out = np.zeros((n, hp, wp, c), dtype=x.dtype)
+    elif fresh:
+        out.fill(0)
+    if out.shape != (n, hp, wp, c):
+        raise ShapeError(f"pad buffer {out.shape} does not match {(n, hp, wp, c)}")
+    out[:, padding : padding + h, padding : padding + w, :] = x.transpose(0, 2, 3, 1)
+    return out
+
+
+def im2col_nhwc(
+    xp: np.ndarray, kernel: int, stride: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Lower a padded NHWC batch to (N, out_h, out_w, k, k, C) columns.
+
+    Unlike the NCHW gather, every assignment here moves contiguous
+    C-element runs, so the copy approaches memcpy speed.  Reshaping the
+    result to ``(N*out_h*out_w, k*k*C)`` is free (it is C-contiguous) and
+    matches a weight matrix laid out as ``(F, k*k*C)``.
+    """
+    n, hp, wp, c = xp.shape
+    out_h = (hp - kernel) // stride + 1
+    out_w = (wp - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ShapeError(f"kernel {kernel} stride {stride} does not fit {xp.shape}")
+    shape = (n, out_h, out_w, kernel, kernel, c)
+    if out is None:
+        out = np.empty(shape, dtype=xp.dtype)
+    if out.shape != shape:
+        raise ShapeError(f"column buffer {out.shape} does not match {shape}")
+    if stride == 1:
+        # One copy per kernel *row*: for a fixed i, the (out_w, kernel, c)
+        # tail of a destination row reads overlapping windows of the source
+        # row, expressible as a zero-copy overlapping strided view (the j
+        # axis reuses the w stride).  k copies instead of k*k.
+        sn, sh, sw, sc = xp.strides
+        for i in range(kernel):
+            src = np.lib.stride_tricks.as_strided(
+                xp[:, i:, :, :],
+                shape=(n, out_h, out_w, kernel, c),
+                strides=(sn, sh, sw, sw, sc),
+            )
+            out[:, :, :, i, :, :] = src
+    else:
+        for i in range(kernel):
+            for j in range(kernel):
+                out[:, :, :, i, j, :] = xp[
+                    :, i : i + stride * out_h : stride, j : j + stride * out_w : stride, :
+                ]
+    return out
+
+
+def overlap_add(contrib: np.ndarray, ntail: int = 1) -> np.ndarray:
+    """Vectorized 1-D overlap-add: fold a window axis into a length axis.
+
+    ``contrib`` has shape ``(..., k, L, *tail)`` (``ntail`` trailing axes);
+    element ``[r, o]`` contributes to output position ``o + r``.  Returns
+    ``(..., L + k - 1, *tail)`` with ``out[d] = sum_r contrib[r, d - r]``.
+
+    Instead of a Python loop over the ``k`` shifts, the contributions are
+    written into a zero-tailed scratch whose rows are then *re-strided* so
+    that row ``r`` appears shifted right by ``r`` (stride ``sk - sl`` on
+    the window axis); a single ``sum`` over the window axis finishes the
+    job.  The shifted view only ever reads the zero tail of the previous
+    row, never foreign memory.
+    """
+    kpos = -2 - ntail
+    lpos = -1 - ntail
+    k, length = contrib.shape[kpos], contrib.shape[lpos]
+    out_len = length + k - 1
+    if k == 1:
+        return contrib.take(0, axis=kpos)
+    scratch_shape = list(contrib.shape)
+    scratch_shape[lpos] = out_len
+    scratch = np.zeros(tuple(scratch_shape), dtype=contrib.dtype)
+    tail_idx = (slice(None),) * ntail
+    scratch[(Ellipsis, slice(None), slice(0, length)) + tail_idx] = contrib
+    strides = list(scratch.strides)
+    strides[kpos] = scratch.strides[kpos] - scratch.strides[lpos]
+    shifted = np.lib.stride_tricks.as_strided(
+        scratch, shape=scratch.shape, strides=tuple(strides)
+    )
+    return shifted.sum(axis=kpos)
+
+
+def col2im_nhwc(
+    dcols: np.ndarray,
+    kernel: int,
+    stride: int,
+    out: np.ndarray,
+    method: str = "auto",
+) -> np.ndarray:
+    """Adjoint of :func:`im2col_nhwc`: scatter-add columns onto ``out``.
+
+    ``dcols`` is (N, out_h, out_w, k, k, C); ``out`` is the padded NHWC
+    gradient target (N, Hp, Wp, C), fully overwritten.  Three execution
+    strategies:
+
+    * ``"tiled"`` -- ``stride == kernel`` with exact tiling: every input
+      position receives exactly one window element, so the whole scatter is
+      one reshaped assignment (no zero-fill, no loop).
+    * ``"overlap"`` -- ``stride == 1``: two :func:`overlap_add` passes
+      (width then height) replace the k*k Python loop.  Benchmarks at
+      parity with the loop for realistic kernels, so it is explicit-only.
+    * ``"loop"`` -- generic bulk slice adds (one per window offset); for
+      small kernels this touches the least memory and stays fastest.
+
+    ``method="auto"`` picks ``"tiled"`` when the geometry allows, else
+    ``"loop"``.
+    """
+    n, out_h, out_w, k, _, c = dcols.shape
+    np_, hp, wp, c_ = out.shape
+    if (np_, c_) != (n, c) or k != kernel:
+        raise ShapeError(f"col2im target {out.shape} does not match {dcols.shape}")
+    tiled_ok = stride == kernel and hp == out_h * kernel and wp == out_w * kernel
+    if method == "auto":
+        # "overlap" is available explicitly but not auto-dispatched: the
+        # committed benchmark (col2im_overlap_k5 in BENCH_kernels.json)
+        # measures it at parity with the bulk-add loop even at k=5.
+        method = "tiled" if tiled_ok else "loop"
+    if method == "tiled":
+        if not tiled_ok:
+            raise ShapeError("tiled col2im requires stride == kernel and exact tiling")
+        view = out.reshape(n, out_h, kernel, out_w, kernel, c)
+        view[...] = dcols.transpose(0, 1, 3, 2, 4, 5)
+        return out
+    if method == "overlap":
+        if stride != 1:
+            raise ShapeError("overlap col2im requires stride == 1")
+        # Fold kj into the width axis, then ki into the height axis.
+        by_width = overlap_add(dcols.transpose(0, 1, 3, 4, 2, 5), ntail=1)
+        out[...] = overlap_add(by_width.transpose(0, 2, 1, 3, 4), ntail=2)
+        return out
+    if method != "loop":
+        raise ShapeError(f"unknown col2im method {method!r}")
+    if stride == 1:
+        # First window offset covers [0:out_h, 0:out_w] -- write it as an
+        # assignment and zero only the uncovered border strips, saving a
+        # full clearing pass over the target.
+        out[:, :out_h, :out_w, :] = dcols[:, :, :, 0, 0, :]
+        out[:, out_h:, :, :] = 0
+        out[:, :out_h, out_w:, :] = 0
+        offsets = [(i, j) for i in range(kernel) for j in range(kernel)][1:]
+    else:
+        out.fill(0)
+        offsets = [(i, j) for i in range(kernel) for j in range(kernel)]
+    for i, j in offsets:
+        out[
+            :, i : i + stride * out_h : stride, j : j + stride * out_w : stride, :
+        ] += dcols[:, :, :, i, j, :]
+    return out
+
+
+def softmax_parts(
+    logits: np.ndarray, axis: int = -1
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared work of softmax/log-softmax: (shifted, exp, sum-of-exp).
+
+    One max pass, one exp pass, one sum -- both normalizations derive from
+    these, so callers needing probabilities *and* log-probabilities (the
+    cross-entropy loss) pay for the expensive passes once.
+    """
     shifted = logits - logits.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
-    return e / e.sum(axis=axis, keepdims=True)
+    return shifted, e, e.sum(axis=axis, keepdims=True)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    _, e, se = softmax_parts(logits, axis)
+    return e / se
 
 
 def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable log-softmax."""
-    shifted = logits - logits.max(axis=axis, keepdims=True)
-    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    shifted, _, se = softmax_parts(logits, axis)
+    return shifted - np.log(se)
+
+
+def softmax_with_log(
+    logits: np.ndarray, axis: int = -1
+) -> tuple[np.ndarray, np.ndarray]:
+    """(softmax, log_softmax) from a single max/exp/sum pass."""
+    shifted, e, se = softmax_parts(logits, axis)
+    return e / se, shifted - np.log(se)
 
 
 def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:

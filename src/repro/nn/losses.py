@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.nn.functional import log_softmax, one_hot, softmax
+from repro.nn.functional import softmax_with_log
 
 
 class CrossEntropyLoss:
@@ -28,9 +28,11 @@ class CrossEntropyLoss:
             raise ShapeError(
                 f"targets must be (N,)={logits.shape[0]}, got {targets.shape}"
             )
-        logp = log_softmax(logits, axis=1)
+        # One max/exp/sum pass serves both normalizations (softmax for the
+        # cached backward, log-softmax for the loss value).
+        probs, logp = softmax_with_log(logits, axis=1)
         loss = -logp[np.arange(logits.shape[0]), targets].mean()
-        self._probs = softmax(logits, axis=1)
+        self._probs = probs
         self._targets = targets
         return float(loss)
 
@@ -40,8 +42,11 @@ class CrossEntropyLoss:
     def backward(self) -> np.ndarray:
         if self._probs is None or self._targets is None:
             raise ShapeError("backward called before forward")
-        n, c = self._probs.shape
-        grad = self._probs - one_hot(self._targets, c, dtype=self._probs.dtype)
+        n, _ = self._probs.shape
+        # softmax - one_hot, without materializing the one-hot matrix: only
+        # the target column of each row differs from the cached softmax.
+        grad = self._probs.copy()
+        grad[np.arange(n), self._targets] -= 1
         grad /= n
         self._probs = None
         self._targets = None

@@ -16,6 +16,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.perf.workspace import BufferPool, Workspace
 
 
 class Parameter:
@@ -55,8 +56,15 @@ class Module:
     composition is plain attribute assignment (or lists of modules).
     """
 
+    #: Class flag: set True on modules whose ``backward`` accepts
+    #: ``need_input_grad=False`` (lets callers skip the input-gradient
+    #: kernels when the result would be discarded, e.g. the first layer of
+    #: a locally trained stage).
+    supports_no_input_grad = False
+
     def __init__(self) -> None:
         self.training = True
+        self._ws: Workspace | None = None
 
     # -- computation ------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -106,6 +114,44 @@ class Module:
                         out.extend(item.named_parameters(prefix=f"{path}.{i}."))
         return out
 
+    # -- workspace --------------------------------------------------------
+    @property
+    def workspace(self) -> Workspace | None:
+        """Scratch-buffer workspace, or None when running unpooled."""
+        return self._ws
+
+    def _buf(
+        self, name: str, shape: tuple[int, ...], dtype
+    ) -> tuple[np.ndarray, bool]:
+        """A named scratch buffer: workspace-backed when attached, fresh
+        otherwise.  ``fresh`` is True whenever the contents are undefined
+        (new allocation or shape change), letting callers amortize
+        one-time initialization across steps."""
+        if self._ws is not None:
+            return self._ws.get(name, shape, dtype)
+        return np.empty(shape, dtype), True
+
+    def attach_workspace(self, pool: BufferPool | None = None) -> "Module":
+        """Give self and every descendant a workspace over a shared pool.
+
+        Layers that support buffer reuse (conv, pooling, linear) then keep
+        their per-step scratch -- column matrices, scatter targets, masks --
+        alive across steps instead of reallocating.  Results are bitwise
+        unchanged; only allocation behavior differs.
+        """
+        pool = pool if pool is not None else BufferPool()
+        for module in self.modules():
+            module._ws = Workspace(pool)
+        return self
+
+    def detach_workspace(self) -> "Module":
+        """Release every workspace buffer back to its pool and detach."""
+        for module in self.modules():
+            if module._ws is not None:
+                module._ws.release()
+                module._ws = None
+        return self
+
     # -- convenience ------------------------------------------------------
     def zero_grad(self) -> None:
         for p in self.parameters():
@@ -148,6 +194,22 @@ class Module:
             p.data[...] = value
 
 
+def run_backward(
+    module: Module, grad_out: np.ndarray, need_input_grad: bool = True
+) -> np.ndarray | None:
+    """Run a module's backward, skipping input-gradient work when possible.
+
+    Modules advertising ``supports_no_input_grad`` get the flag passed
+    through (and may skip whole GEMM/scatter kernels); everything else runs
+    its normal backward, with the result dropped if the caller does not
+    need it.  Parameter gradients accumulate identically either way.
+    """
+    if not need_input_grad and module.supports_no_input_grad:
+        return module.backward(grad_out, need_input_grad=False)
+    grad = module.backward(grad_out)
+    return grad if need_input_grad else None
+
+
 class Identity(Module):
     """Pass-through module (used as a disabled shortcut/normalization slot)."""
 
@@ -160,6 +222,8 @@ class Identity(Module):
 
 class Sequential(Module):
     """Chain of modules applied in order; backward runs in reverse."""
+
+    supports_no_input_grad = True
 
     def __init__(self, *layers: Module):
         super().__init__()
@@ -182,7 +246,14 @@ class Sequential(Module):
             x = layer.forward(x)
         return x
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        for layer in reversed(self.layers):
+    def backward(
+        self, grad_out: np.ndarray, need_input_grad: bool = True
+    ) -> np.ndarray | None:
+        """Reverse pass; ``need_input_grad=False`` lets the first layer skip
+        its input-gradient kernels when it advertises support (parameter
+        gradients are always accumulated)."""
+        for layer in reversed(self.layers[1:]):
             grad_out = layer.backward(grad_out)
-        return grad_out
+        if not self.layers:
+            return grad_out if need_input_grad else None
+        return run_backward(self.layers[0], grad_out, need_input_grad)

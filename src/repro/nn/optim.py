@@ -54,10 +54,15 @@ class SGD(Optimizer):
         self.weight_decay = float(weight_decay)
         self.nesterov = nesterov
         self._velocity: list[np.ndarray] | None = None
+        self._scratch: list[np.ndarray] | None = None
         if momentum > 0.0:
             self._velocity = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
+        # Scratch buffers make the update allocation-free on the plain
+        # momentum path: x - lr*u == x + (-lr)*u bit for bit.
+        if self._scratch is None:
+            self._scratch = [np.empty_like(p.data) for p in self.params]
         for i, p in enumerate(self.params):
             grad = p.grad
             if self.weight_decay:
@@ -69,7 +74,9 @@ class SGD(Optimizer):
                 update = grad + self.momentum * v if self.nesterov else v
             else:
                 update = grad
-            p.data -= self.lr * update
+            scratch = self._scratch[i]
+            np.multiply(update, -self.lr, out=scratch)
+            p.data += scratch
 
     def state_bytes(self) -> int:
         if self._velocity is None:

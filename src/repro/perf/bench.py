@@ -1,0 +1,439 @@
+"""Wall-clock kernel benchmarks: the perf trajectory of the numpy substrate.
+
+Every trainer and the serving cascade funnel through the same handful of
+kernels (im2col/col2im lowering, conv GEMMs, pooling windows, the loss).
+This module times them -- micro benchmarks per kernel, macro benchmarks per
+full training step -- in two configurations:
+
+* ``seed``: the original execution path (NCHW im2col, separate bias/ReLU
+  passes, fresh allocations every step, full input gradients); and
+* ``fast``: the fused NHWC path with a workspace attached and input
+  gradients skipped where trainers discard them.
+
+``run_suite`` returns a JSON-serializable report; ``benchmarks/
+bench_kernels.py`` and the ``bench`` CLI subcommand write it to
+``BENCH_kernels.json`` so every future PR has a committed perf baseline to
+regress against.  ``--quick`` shrinks shapes and repetitions to a smoke
+test (CI runs it on every push so the harness itself cannot rot).
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import time
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Accepted suite selectors for run_suite / the CLI.
+SUITES = ("micro", "macro", "all")
+
+_DEFAULT_MODEL = "vgg11"
+
+
+def _time_ms(fn, reps: int, warmup: int = 2) -> float:
+    """Best-of-``reps`` wall-clock milliseconds for one call of ``fn``."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def _entry(seed_ms: float, fast_ms: float, **extra) -> dict:
+    return {
+        "seed_ms": round(seed_ms, 4),
+        "fast_ms": round(fast_ms, 4),
+        "speedup": round(seed_ms / fast_ms, 3) if fast_ms > 0 else float("inf"),
+        **extra,
+    }
+
+
+# -- micro: individual kernels ---------------------------------------------
+
+
+def bench_im2col(batch: int, reps: int) -> dict:
+    """NCHW transpose-gather vs NHWC contiguous-run gather."""
+    from repro.nn.functional import im2col, im2col_nhwc, pad2d_nhwc
+    from repro.perf.workspace import Workspace
+
+    rng = np.random.default_rng(0)
+    n, c, h, w, k, s, p = batch, 32, 16, 16, 3, 1, 1
+    x = rng.standard_normal((n, c, h, w)).astype(np.float32)
+    ws = Workspace()
+
+    def fast():
+        xp, fresh = ws.get("xp", (n, h + 2 * p, w + 2 * p, c))
+        pad2d_nhwc(x, p, out=xp, fresh=fresh)
+        oh = h + 2 * p - k + 1
+        cols = ws.buf("cols", (n, oh, oh, k, k, c))
+        im2col_nhwc(xp, k, s, out=cols)
+
+    return _entry(
+        _time_ms(lambda: im2col(x, k, s, p), reps),
+        _time_ms(fast, reps),
+        shape=[n, c, h, w],
+        kernel=k,
+    )
+
+
+def bench_col2im(batch: int, reps: int) -> dict:
+    """Seed NCHW scatter loop vs NHWC bulk-slice scatter (stride 1, k=3)."""
+    from repro.nn.functional import col2im, col2im_nhwc
+
+    rng = np.random.default_rng(0)
+    n, c, h, w, k, s, p = batch, 32, 16, 16, 3, 1, 1
+    oh = ow = h
+    dcols = rng.standard_normal((n * oh * ow, c * k * k)).astype(np.float32)
+    dcols_nhwc = np.ascontiguousarray(
+        dcols.reshape(n, oh, ow, c, k, k).transpose(0, 1, 2, 4, 5, 3)
+    )
+    out = np.empty((n, h + 2 * p, w + 2 * p, c), np.float32)
+
+    return _entry(
+        _time_ms(lambda: col2im(dcols, (n, c, h, w), k, s, p, (oh, ow)), reps),
+        _time_ms(lambda: col2im_nhwc(dcols_nhwc, k, s, out=out), reps),
+        shape=[n, c, h, w],
+        kernel=k,
+    )
+
+
+def bench_col2im_overlap(batch: int, reps: int) -> dict:
+    """Large-kernel stride-1 scatter: Python loop vs overlap-add fast path."""
+    from repro.nn.functional import col2im_nhwc
+
+    rng = np.random.default_rng(0)
+    n, c, k = batch, 16, 5
+    oh = ow = 12
+    hp = oh + k - 1
+    dcols = rng.standard_normal((n, oh, ow, k, k, c)).astype(np.float32)
+    out = np.empty((n, hp, hp, c), np.float32)
+
+    return _entry(
+        _time_ms(lambda: col2im_nhwc(dcols, k, 1, out=out, method="loop"), reps),
+        _time_ms(lambda: col2im_nhwc(dcols, k, 1, out=out, method="overlap"), reps),
+        kernel=k,
+    )
+
+
+def bench_conv_step(batch: int, reps: int) -> dict:
+    """One conv forward+backward: unfused fresh-alloc vs fused+workspace."""
+    from repro.nn import Conv2d
+
+    rng = np.random.default_rng(0)
+    n, cin, hw, cout = batch, 32, 16, 64
+    x = rng.standard_normal((n, cin, hw, hw)).astype(np.float32)
+    seed_conv = Conv2d(cin, cout, 3, padding=1, rng=np.random.default_rng(1))
+    fast_conv = Conv2d(
+        cin, cout, 3, padding=1, rng=np.random.default_rng(1),
+        fused=True, activation="relu",
+    ).attach_workspace()
+    g = rng.standard_normal((n, cout, hw, hw)).astype(np.float32)
+
+    def seed_step():
+        y = seed_conv.forward(x)
+        np.maximum(y, 0)  # the separate ReLU pass the fused path absorbs
+        seed_conv.backward(g)
+
+    def fast_step():
+        fast_conv.forward(x)
+        fast_conv.backward(g)
+
+    return _entry(
+        _time_ms(seed_step, reps), _time_ms(fast_step, reps), shape=[n, cin, hw, hw]
+    )
+
+
+def bench_maxpool_step(batch: int, reps: int) -> dict:
+    """2x2 max pool fwd+bwd: generic window path vs exact-tiling path."""
+    from repro.nn import MaxPool2d
+    from repro.nn.functional import sliding_windows
+    from repro.nn.pooling import _scatter_windows
+
+    rng = np.random.default_rng(0)
+    n, c, hw = batch, 64, 16
+    x = rng.standard_normal((n, c, hw, hw)).astype(np.float32)
+    pool = MaxPool2d(2)
+    oh = hw // 2
+    g = rng.standard_normal((n, c, oh, oh)).astype(np.float32)
+
+    def seed_step():
+        # The pre-fast-path formulation: window copy + argmax + scatter loop.
+        win = sliding_windows(x, 2, 2)
+        flat = win.reshape(n, c, oh, oh, 4)
+        idx = flat.argmax(axis=-1)
+        np.take_along_axis(flat, idx[..., None], axis=-1)
+        dflat = np.zeros((n, c, oh, oh, 4), dtype=g.dtype)
+        np.put_along_axis(dflat, idx[..., None], g[..., None], axis=-1)
+        _scatter_windows(dflat.reshape(n, c, oh, oh, 2, 2), x.shape, 2, 2, method="loop")
+
+    def fast_step():
+        pool.forward(x)
+        pool.backward(g)
+
+    return _entry(
+        _time_ms(seed_step, reps), _time_ms(fast_step, reps), shape=[n, c, hw, hw]
+    )
+
+
+# -- macro: full training steps --------------------------------------------
+
+
+def _make_batch(batch: int, input_hw: tuple[int, int], num_classes: int):
+    rng = np.random.default_rng(0)
+    x = (0.1 * rng.standard_normal((batch, 3, *input_hw))).astype(np.float32)
+    y = rng.integers(0, num_classes, batch)
+    return x, y
+
+
+#: Width multiplier for the macro models -- the repo's standard scale for
+#: pure-numpy benchmarking (bench_serving and the test suite use the same
+#: family of scaled-down zoo models).
+MACRO_WIDTH = 0.125
+
+
+def _build(model_name: str, input_hw: tuple[int, int], fused: bool, width: float):
+    from repro.models.zoo import build_model
+
+    # Only VGG exposes batch_norm; BN-less VGG is the configuration where
+    # conv+bias+ReLU fuse completely.  ResNet/MobileNet keep their BN and
+    # still benefit from the fused NHWC conv lowering.
+    kwargs = {"batch_norm": False} if model_name.startswith("vgg") else {}
+    return build_model(
+        model_name,
+        num_classes=10,
+        input_hw=input_hw,
+        width_multiplier=width,
+        seed=0,
+        fused=fused,
+        **kwargs,
+    )
+
+
+def bench_bp_step(
+    model_name: str, batch: int, reps: int, quick: bool, width: float = MACRO_WIDTH
+) -> dict:
+    """Full backprop training step (forward, loss, backward, SGD update)."""
+    from repro.nn import CrossEntropyLoss, make_optimizer
+
+    input_hw = (16, 16) if quick else (32, 32)
+    x, y = _make_batch(batch, input_hw, 10)
+    results = {}
+    for mode, fused in (("seed", False), ("fast", True)):
+        model = _build(model_name, input_hw, fused, width)
+        if fused:
+            model.attach_workspace()
+        loss_fn = CrossEntropyLoss()
+        opt = make_optimizer("sgd-momentum", model.parameters(), lr=1e-4)
+        model.train()
+        need_input_grad = not fused  # seed behavior computed the input grad
+
+        def step():
+            logits = model.forward(x)
+            loss_fn(logits, y)
+            model.zero_grad()
+            model.backward(loss_fn.backward(), need_input_grad=need_input_grad)
+            opt.step()
+
+        results[mode] = _time_ms(step, reps)
+    return _entry(
+        results["seed"], results["fast"], model=model_name, batch=batch,
+        input_hw=list(input_hw), width_multiplier=width,
+    )
+
+
+def bench_ll_step(
+    model_name: str, batch: int, reps: int, quick: bool, width: float = MACRO_WIDTH
+) -> dict:
+    """Full local-learning step: every stage trains against its aux head."""
+    from repro.core.auxiliary import build_aux_heads
+    from repro.nn import CrossEntropyLoss, make_optimizer
+    from repro.nn.module import run_backward
+
+    input_hw = (16, 16) if quick else (32, 32)
+    x, y = _make_batch(batch, input_hw, 10)
+    results = {}
+    for mode, fused in (("seed", False), ("fast", True)):
+        model = _build(model_name, input_hw, fused, width)
+        aux_heads = build_aux_heads(
+            model, rule="classic", classic_filters=32, seed=0, fused=fused
+        )
+        if fused:
+            pool = model.attach_workspace().workspace.pool
+            for aux in aux_heads:
+                aux.attach_workspace(pool)
+        loss_fn = CrossEntropyLoss()
+        optimizers = [
+            make_optimizer(
+                "sgd-momentum",
+                spec.module.parameters() + aux.parameters(),
+                lr=1e-4,
+            )
+            for spec, aux in zip(model.local_layers(), aux_heads)
+        ]
+        model.train()
+        for aux in aux_heads:
+            aux.train()
+        need_input_grad = not fused
+
+        def step():
+            feats = x
+            for spec, aux, opt in zip(model.local_layers(), aux_heads, optimizers):
+                out = spec.module.forward(feats)
+                z = aux.forward(out)
+                loss_fn(z, y)
+                dout = aux.backward(loss_fn.backward())
+                run_backward(spec.module, dout, need_input_grad=need_input_grad)
+                opt.step()
+                opt.zero_grad()
+                feats = out
+
+        results[mode] = _time_ms(step, reps)
+    return _entry(
+        results["seed"], results["fast"], model=model_name, batch=batch,
+        input_hw=list(input_hw), width_multiplier=width,
+    )
+
+
+# -- suite driver ----------------------------------------------------------
+
+
+def run_suite(
+    suite: str = "all",
+    quick: bool = False,
+    batch: int | None = None,
+    reps: int | None = None,
+    model: str = _DEFAULT_MODEL,
+) -> dict:
+    """Run the requested benchmark suite and return the report dict."""
+    from repro.models.zoo import list_models
+
+    if suite not in SUITES:
+        raise ConfigError(f"unknown suite {suite!r}; pick from {SUITES}")
+    if model not in list_models():
+        raise ConfigError(f"unknown model {model!r}; available: {list_models()}")
+    if batch is None:
+        batch = 8 if quick else 32
+    if batch < 1:
+        raise ConfigError("batch must be >= 1")
+    if reps is None:
+        reps = 2 if quick else 10
+    if reps < 1:
+        raise ConfigError("reps must be >= 1")
+
+    report: dict = {
+        "schema": 1,
+        "config": {
+            "suite": suite,
+            "quick": quick,
+            "batch": batch,
+            "reps": reps,
+            "model": model,
+        },
+        "env": {
+            "python": _platform.python_version(),
+            "numpy": np.__version__,
+            "machine": _platform.machine(),
+        },
+    }
+    # Macro first: the micro benches leave allocator state (freed pools,
+    # fragmented arenas) that measurably skews subsequent macro timings.
+    if suite in ("macro", "all"):
+        report["macro"] = {
+            "bp_step": bench_bp_step(model, batch, reps, quick),
+            "ll_step": bench_ll_step(model, batch, reps, quick),
+        }
+        if not quick:
+            # A wider build tracks how the gains scale as the GEMMs (which
+            # both paths share) take a larger share of the step.
+            report["macro"]["bp_step_wide"] = bench_bp_step(
+                model, batch, reps, quick, width=2 * MACRO_WIDTH
+            )
+    if suite in ("micro", "all"):
+        micro_batch = max(1, batch // 4) if quick else batch
+        report["micro"] = {
+            "im2col": bench_im2col(micro_batch, reps),
+            "col2im": bench_col2im(micro_batch, reps),
+            "col2im_overlap_k5": bench_col2im_overlap(micro_batch, reps),
+            "conv_step": bench_conv_step(micro_batch, reps),
+            "maxpool_step": bench_maxpool_step(micro_batch, reps),
+        }
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of a run_suite report."""
+    lines = []
+    cfg = report["config"]
+    lines.append(
+        f"kernel benchmarks: model={cfg['model']} batch={cfg['batch']} "
+        f"reps={cfg['reps']}{' (quick)' if cfg['quick'] else ''}"
+    )
+    header = f"{'benchmark':<22} {'seed ms':>10} {'fast ms':>10} {'speedup':>8}"
+    for section in ("micro", "macro"):
+        if section not in report:
+            continue
+        lines.append(f"\n[{section}]")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, row in report[section].items():
+            lines.append(
+                f"{name:<22} {row['seed_ms']:>10.3f} {row['fast_ms']:>10.3f} "
+                f"{row['speedup']:>7.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point shared by benchmarks/bench_kernels.py and the CLI."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="bench_kernels",
+        description="Time the numpy kernel substrate (seed vs fused+workspace).",
+    )
+    parser.add_argument("--suite", default="all", help="micro | macro | all")
+    parser.add_argument(
+        "--quick", action="store_true", help="small shapes / few reps (CI smoke)"
+    )
+    parser.add_argument("--batch", type=int, default=None, help="macro batch size")
+    parser.add_argument("--reps", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--model", default=_DEFAULT_MODEL, help="macro model name")
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH (default: BENCH_kernels.json unless --quick)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = run_suite(
+            suite=args.suite,
+            quick=args.quick,
+            batch=args.batch,
+            reps=args.reps,
+            model=args.model,
+        )
+    except ConfigError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    json_path = args.json
+    if json_path is None and not args.quick:
+        json_path = "BENCH_kernels.json"
+    if json_path:
+        write_report(report, json_path)
+        print(f"\nwrote {json_path}")
+    return 0

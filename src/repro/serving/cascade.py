@@ -123,11 +123,13 @@ class CascadeRouter:
         model: MultiExitModel,
         threshold: float | list[float] = 0.7,
         mode: str = "cascade",
+        workspace: bool = True,
     ):
         if mode not in self.MODES:
             raise ConfigError(f"unknown routing mode {mode!r}")
         self.model = model
         self.mode = mode
+        self._use_workspace = workspace
         n = model.num_exits
         if isinstance(threshold, (int, float)):
             thresholds = [float(threshold)] * n
@@ -148,6 +150,12 @@ class CascadeRouter:
     def route(self, x: np.ndarray) -> RoutedBatch:
         n = len(x)
         model = self.model
+        if self._use_workspace and model.workspace is None:
+            # Serving reruns the same segment shapes for every batch; a
+            # shared buffer pool keeps the im2col/window scratch warm
+            # across requests.  Attached lazily (and only when absent) so
+            # the router never clobbers a pool someone else owns.
+            model.attach_workspace()
         predictions = np.zeros(n, dtype=np.int64)
         exit_indices = np.zeros(n, dtype=np.int64)
         confidences = np.zeros(n, dtype=np.float64)

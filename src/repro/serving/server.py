@@ -180,4 +180,11 @@ def simulate_serving(
         sample_bytes=system.data.spec.sample_bytes,
     )
     requests = generate_requests(workload, n_samples=len(system.data.x_test))
-    return server.serve(requests, workload)
+    try:
+        return server.serve(requests, workload)
+    finally:
+        # The router lazily attaches scratch workspaces to the multi-exit
+        # model; release them with the simulation so repeated simulations
+        # (or long sweeps over configurations) do not accumulate pooled
+        # buffers for every batch-size/layer shape ever seen.
+        model.detach_workspace()

@@ -71,6 +71,7 @@ class BackpropTrainer:
         lr: float = 0.05,
         backward_multiplier: float = 2.0,
         seed: int = 0,
+        use_workspace: bool = True,
     ):
         self.model = model
         self.data = data
@@ -80,6 +81,7 @@ class BackpropTrainer:
         self.lr = lr
         self.backward_multiplier = backward_multiplier
         self.seed = seed
+        self.use_workspace = use_workspace
 
     # -- memory ---------------------------------------------------------
     def memory_at_batch(self, batch_size: int) -> int:
@@ -138,36 +140,46 @@ class BackpropTrainer:
             num_parameters=self.model.num_parameters(),
         )
         self.model.train()
+        if self.use_workspace:
+            # Shared buffer pool: per-step scratch (column matrices, GEMM
+            # outputs, scatter targets) is reused across steps instead of
+            # reallocated.  Results are bitwise unchanged.
+            self.model.attach_workspace()
         stop = False
-        for epoch in range(epochs):
-            for xb, yb in loader:
-                logits = self.model.forward(xb)
-                loss = loss_fn(logits, yb)
-                self.model.zero_grad()
-                self.model.backward(loss_fn.backward())
-                opt.step()
-                sim.add_training_step(
-                    step_flops_per_sample * len(xb),
-                    sample_bytes * len(xb),
-                    n_kernels,
+        try:
+            for epoch in range(epochs):
+                for xb, yb in loader:
+                    logits = self.model.forward(xb)
+                    loss = loss_fn(logits, yb)
+                    self.model.zero_grad()
+                    # The gradient w.r.t. the model input is never used.
+                    self.model.backward(loss_fn.backward(), need_input_grad=False)
+                    opt.step()
+                    sim.add_training_step(
+                        step_flops_per_sample * len(xb),
+                        sample_bytes * len(xb),
+                        n_kernels,
+                    )
+                    if time_budget_s is not None and sim.elapsed >= time_budget_s:
+                        stop = True
+                        break
+                self.model.eval()
+                val_acc = evaluate_classifier(
+                    self.model.forward, self.data.x_val, self.data.y_val
                 )
-                if time_budget_s is not None and sim.elapsed >= time_budget_s:
-                    stop = True
+                self.model.train()
+                result.history.append(
+                    HistoryPoint(sim.elapsed, epoch + 1, val_acc, loss, "val")
+                )
+                if stop:
                     break
             self.model.eval()
-            val_acc = evaluate_classifier(
-                self.model.forward, self.data.x_val, self.data.y_val
+            result.final_accuracy = evaluate_classifier(
+                self.model.forward, self.data.x_test, self.data.y_test
             )
-            self.model.train()
-            result.history.append(
-                HistoryPoint(sim.elapsed, epoch + 1, val_acc, loss, "val")
-            )
-            if stop:
-                break
-        self.model.eval()
-        result.final_accuracy = evaluate_classifier(
-            self.model.forward, self.data.x_test, self.data.y_test
-        )
+        finally:
+            if self.use_workspace:
+                self.model.detach_workspace()
         result.sim_time_s = sim.elapsed
         result.ledger = sim.ledger
         return result

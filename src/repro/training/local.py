@@ -24,6 +24,8 @@ from repro.memory.estimator import ll_training_memory
 from repro.memory.tracker import SimulatedGpu
 from repro.models.base import ConvNet
 from repro.nn import CrossEntropyLoss, make_optimizer
+from repro.nn.module import run_backward
+from repro.perf import BufferPool
 from repro.training.backprop import DEFAULT_BATCH_LIMIT, max_feasible_batch
 from repro.training.common import (
     HistoryPoint,
@@ -51,6 +53,7 @@ class LocalLearningTrainer:
         classic_filters: int = CLASSIC_AUX_FILTERS,
         backward_multiplier: float = 2.0,
         seed: int = 0,
+        use_workspace: bool = True,
     ):
         self.model = model
         self.data = data
@@ -60,6 +63,7 @@ class LocalLearningTrainer:
         self.lr = lr
         self.backward_multiplier = backward_multiplier
         self.seed = seed
+        self.use_workspace = use_workspace
         heads = build_aux_heads(
             model, rule=aux_rule, classic_filters=classic_filters, seed=seed
         )
@@ -150,51 +154,64 @@ class LocalLearningTrainer:
             num_parameters=self.model.num_parameters() + aux_params,
         )
         self.model.train()
+        if self.use_workspace:
+            pool = BufferPool()
+            self.model.attach_workspace(pool)
+            for aux in self.aux_heads:
+                if aux is not None:
+                    aux.attach_workspace(pool)
         for aux in self.aux_heads:
             if aux is not None:
                 aux.train()
         stop = False
         last_loss = float("nan")
-        for epoch in range(epochs):
-            for xb, yb in loader:
-                x = xb
-                for i, (spec, aux) in enumerate(zip(specs, self.aux_heads)):
-                    out = spec.module.forward(x)
-                    if aux is not None:
-                        z = aux.forward(out)
-                        last_loss = loss_fn(z, yb)
-                        dz = loss_fn.backward()
-                        dout = aux.backward(dz)
-                        spec.module.backward(dout)
-                    else:
-                        z = self.model.head.forward(out)
-                        last_loss = loss_fn(z, yb)
-                        dz = loss_fn.backward()
-                        dout = self.model.head.backward(dz)
-                        spec.module.backward(dout)
-                    optimizers[i].step()
-                    optimizers[i].zero_grad()
-                    x = out
-                sim.add_training_step(
-                    step_flops * len(xb), sample_bytes * len(xb), n_kernels
+        try:
+            for epoch in range(epochs):
+                for xb, yb in loader:
+                    x = xb
+                    for i, (spec, aux) in enumerate(zip(specs, self.aux_heads)):
+                        out = spec.module.forward(x)
+                        if aux is not None:
+                            z = aux.forward(out)
+                            last_loss = loss_fn(z, yb)
+                            dz = loss_fn.backward()
+                            dout = aux.backward(dz)
+                        else:
+                            z = self.model.head.forward(out)
+                            last_loss = loss_fn(z, yb)
+                            dz = loss_fn.backward()
+                            dout = self.model.head.backward(dz)
+                        # Local learning never propagates past the stage input.
+                        run_backward(spec.module, dout, need_input_grad=False)
+                        optimizers[i].step()
+                        optimizers[i].zero_grad()
+                        x = out
+                    sim.add_training_step(
+                        step_flops * len(xb), sample_bytes * len(xb), n_kernels
+                    )
+                    if time_budget_s is not None and sim.elapsed >= time_budget_s:
+                        stop = True
+                        break
+                self.model.eval()
+                val_acc = evaluate_classifier(
+                    self.model.forward, self.data.x_val, self.data.y_val
                 )
-                if time_budget_s is not None and sim.elapsed >= time_budget_s:
-                    stop = True
+                self.model.train()
+                result.history.append(
+                    HistoryPoint(sim.elapsed, epoch + 1, val_acc, last_loss, "val")
+                )
+                if stop:
                     break
             self.model.eval()
-            val_acc = evaluate_classifier(
-                self.model.forward, self.data.x_val, self.data.y_val
+            result.final_accuracy = evaluate_classifier(
+                self.model.forward, self.data.x_test, self.data.y_test
             )
-            self.model.train()
-            result.history.append(
-                HistoryPoint(sim.elapsed, epoch + 1, val_acc, last_loss, "val")
-            )
-            if stop:
-                break
-        self.model.eval()
-        result.final_accuracy = evaluate_classifier(
-            self.model.forward, self.data.x_test, self.data.y_test
-        )
+        finally:
+            if self.use_workspace:
+                self.model.detach_workspace()
+                for aux in self.aux_heads:
+                    if aux is not None:
+                        aux.detach_workspace()
         result.sim_time_s = sim.elapsed
         result.ledger = sim.ledger
         return result

@@ -46,6 +46,7 @@ class MicrobatchTrainer:
         lr: float = 0.05,
         backward_multiplier: float = 2.0,
         seed: int = 0,
+        use_workspace: bool = True,
     ):
         if logical_batch < 1:
             raise ConfigError("logical_batch must be >= 1")
@@ -58,6 +59,7 @@ class MicrobatchTrainer:
         self.lr = lr
         self.backward_multiplier = backward_multiplier
         self.seed = seed
+        self.use_workspace = use_workspace
 
     def memory_at_batch(self, micro_batch: int) -> int:
         return bp_training_memory(self.model, micro_batch, self.optimizer_name).total
@@ -105,35 +107,41 @@ class MicrobatchTrainer:
             extras={"logical_batch": self.logical_batch},
         )
         self.model.train()
-        for epoch in range(epochs):
-            for xb, yb in loader:
-                self.model.zero_grad()
-                n_micro = -(-len(xb) // micro)
-                loss = float("nan")
-                for start in range(0, len(xb), micro):
-                    xm = xb[start : start + micro]
-                    ym = yb[start : start + micro]
-                    logits = self.model.forward(xm)
-                    loss = loss_fn(logits, ym)
-                    grad = loss_fn.backward() * (len(xm) / len(xb))
-                    self.model.backward(grad)
-                    # Every micro-batch is a separate load + kernel pass.
-                    sim.add_training_step(
-                        step_flops * len(xm), sample_bytes * len(xm), n_kernels
-                    )
-                opt.step()
+        if self.use_workspace:
+            self.model.attach_workspace()
+        try:
+            for epoch in range(epochs):
+                for xb, yb in loader:
+                    self.model.zero_grad()
+                    n_micro = -(-len(xb) // micro)
+                    loss = float("nan")
+                    for start in range(0, len(xb), micro):
+                        xm = xb[start : start + micro]
+                        ym = yb[start : start + micro]
+                        logits = self.model.forward(xm)
+                        loss = loss_fn(logits, ym)
+                        grad = loss_fn.backward() * (len(xm) / len(xb))
+                        self.model.backward(grad, need_input_grad=False)
+                        # Every micro-batch is a separate load + kernel pass.
+                        sim.add_training_step(
+                            step_flops * len(xm), sample_bytes * len(xm), n_kernels
+                        )
+                    opt.step()
+                self.model.eval()
+                val_acc = evaluate_classifier(
+                    self.model.forward, self.data.x_val, self.data.y_val
+                )
+                self.model.train()
+                result.history.append(
+                    HistoryPoint(sim.elapsed, epoch + 1, val_acc, loss, "val")
+                )
             self.model.eval()
-            val_acc = evaluate_classifier(
-                self.model.forward, self.data.x_val, self.data.y_val
+            result.final_accuracy = evaluate_classifier(
+                self.model.forward, self.data.x_test, self.data.y_test
             )
-            self.model.train()
-            result.history.append(
-                HistoryPoint(sim.elapsed, epoch + 1, val_acc, loss, "val")
-            )
-        self.model.eval()
-        result.final_accuracy = evaluate_classifier(
-            self.model.forward, self.data.x_test, self.data.y_test
-        )
+        finally:
+            if self.use_workspace:
+                self.model.detach_workspace()
         result.sim_time_s = sim.elapsed
         result.ledger = sim.ledger
         return result

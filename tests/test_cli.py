@@ -24,6 +24,7 @@ class TestMain:
         out = capsys.readouterr().out
         for key in EXPERIMENTS:
             assert key in out
+        assert "bench" in out
 
     def test_unknown_experiment(self, capsys):
         assert main(["fig99"]) == 2
@@ -89,3 +90,37 @@ class TestServe:
         assert "unknown arrival pattern" in capsys.readouterr().err
         assert main(["serve", "--threshold", "1.5"]) == 2
         assert "--threshold" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_quick_runs_and_writes_json(self, capsys, tmp_path):
+        """The CI smoke command: quick suite, report table + JSON."""
+        import json
+
+        path = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        for needle in ("bp_step", "ll_step", "im2col", "speedup"):
+            assert needle in out
+        report = json.loads(path.read_text())
+        assert report["schema"] == 1
+        assert report["config"]["quick"] is True
+        assert {"seed_ms", "fast_ms", "speedup"} <= set(
+            report["macro"]["bp_step"]
+        )
+
+    def test_bench_quick_skips_default_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick", "--suite", "micro"]) == 0
+        assert not (tmp_path / "BENCH_kernels.json").exists()
+
+    def test_bench_bad_inputs_fail_fast(self, capsys):
+        """Invalid suite/model/batch must error out before any timing."""
+        assert main(["bench", "--suite", "nano"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+        assert main(["bench", "--model", "alexnet"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+        assert main(["bench", "--quick", "--batch", "0"]) == 2
+        assert "batch" in capsys.readouterr().err
+        assert main(["bench", "--quick", "--reps", "0"]) == 2
+        assert "reps" in capsys.readouterr().err
