@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Pipeline-parallel benchmark runner: cluster schedules vs single-device.
+
+Trains the same NeuroFlux system on one device, sequentially across a
+heterogeneous 4-device cluster, and pipelined with round-robin vs
+optimized block placement, then writes ``BENCH_pipeline.json`` -- the
+committed trajectory future PRs regress against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py           # full run
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --epochs 5
+
+See :mod:`repro.parallel.bench` for the implementation.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.parallel.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

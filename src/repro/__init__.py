@@ -27,6 +27,7 @@ Subpackages:
 * :mod:`repro.training` -- BP, classic LL, FA and SP baselines.
 * :mod:`repro.evalsim` -- inference-throughput evaluation.
 * :mod:`repro.serving` -- early-exit inference serving simulator.
+* :mod:`repro.parallel` -- multi-device pipeline-parallel training.
 """
 
 from repro.core import NeuroFlux, NeuroFluxConfig, NeuroFluxReport
@@ -35,6 +36,7 @@ from repro.errors import (
     ConfigError,
     MemoryBudgetExceeded,
     PartitionError,
+    PlacementError,
     ProfilingError,
     ReproError,
     ShapeError,
@@ -74,6 +76,7 @@ __all__ = [
     "NeuroFluxConfig",
     "NeuroFluxReport",
     "PartitionError",
+    "PlacementError",
     "ProfilingError",
     "RASPBERRY_PI_4B",
     "ReproError",

@@ -8,11 +8,14 @@ Usage::
     python -m repro.cli table2
     python -m repro.cli all          # everything (slow)
     python -m repro.cli serve --platform agx_orin --arrival-rate 200
+    python -m repro.cli parallel --schedule pipelined --epochs 3
     python -m repro.cli bench --quick
 
 Each command prints the reproduced figure/table as a plain-text table.
 ``serve`` trains a small NeuroFlux system and runs the early-exit
 inference serving simulator against it (see :mod:`repro.serving`).
+``parallel`` trains one pipeline-parallel across a simulated device
+cluster with an optimized block placement (see :mod:`repro.parallel`).
 ``bench`` times the kernel substrate, seed path vs fused+workspace path
 (see :mod:`repro.perf.bench`), and records the trajectory in
 ``BENCH_kernels.json``.
@@ -106,7 +109,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--queue-depth", type=int, default=256, help="admission bound")
     parser.add_argument("--model", default="vgg11", help="model architecture")
     parser.add_argument("--epochs", type=int, default=5, help="training epochs")
-    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed (workload, training, synthetic data and weights)",
+    )
     return parser
 
 
@@ -147,10 +155,19 @@ def _serve_run(argv: list[str]) -> int:
     if not 0.0 <= args.threshold <= 1.0:
         raise ConfigError("--threshold must be in [0, 1]")
     data = dataset_spec(
-        "cifar10", num_classes=4, image_hw=(16, 16), scale=0.01, noise_std=0.4, seed=7
+        "cifar10",
+        num_classes=4,
+        image_hw=(16, 16),
+        scale=0.01,
+        noise_std=0.4,
+        seed=7 + args.seed,
     ).materialize()
     model = build_model(
-        args.model, num_classes=4, input_hw=(16, 16), width_multiplier=0.125, seed=3
+        args.model,
+        num_classes=4,
+        input_hw=(16, 16),
+        width_multiplier=0.125,
+        seed=3 + args.seed,
     )
     if args.exits is not None:
         if not args.exits:
@@ -168,7 +185,7 @@ def _serve_run(argv: list[str]) -> int:
         data,
         memory_budget=16 * 2**20,
         platform=platform,
-        config=NeuroFluxConfig(batch_limit=64, seed=0),
+        config=NeuroFluxConfig(batch_limit=64, seed=args.seed),
     )
     print(
         f"training {model.name} with NeuroFlux on {platform.name} "
@@ -185,6 +202,127 @@ def _serve_run(argv: list[str]) -> int:
         config=server_config,
     )
     print(report.table())
+    return 0
+
+
+def build_parallel_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli parallel",
+        description=(
+            "Train a NeuroFlux system pipeline-parallel across a simulated "
+            "device cluster (see repro.parallel)."
+        ),
+    )
+    parser.add_argument(
+        "--devices",
+        nargs="+",
+        default=None,
+        metavar="PLATFORM",
+        help="platform short names (default: nano xavier-nx xavier-nx agx-orin)",
+    )
+    parser.add_argument(
+        "--schedule",
+        default="pipelined",
+        choices=["sequential", "pipelined"],
+        help="sequential = single-device semantics, pipelined = overlap blocks",
+    )
+    parser.add_argument(
+        "--placement",
+        default="optimized",
+        choices=["optimized", "round-robin"],
+        help="block-to-device assignment strategy",
+    )
+    parser.add_argument("--model", default="vgg11", help="model architecture")
+    parser.add_argument("--epochs", type=int, default=3, help="training epochs")
+    parser.add_argument(
+        "--budget-mb",
+        type=float,
+        default=3.0,
+        help="training memory budget per block (MiB); drives the partition",
+    )
+    parser.add_argument(
+        "--microbatch",
+        type=int,
+        default=None,
+        help="pipeline micro-batch size (default: smallest block batch)",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=2,
+        help="bounded inter-stage queue depth (timing back-pressure only)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed (training, synthetic data and weights)",
+    )
+    return parser
+
+
+def _parallel_main(argv: list[str]) -> int:
+    from repro.errors import ConfigError, PartitionError, PlacementError
+
+    try:
+        return _parallel_run(argv)
+    except (ConfigError, PartitionError, PlacementError) as exc:
+        print(f"parallel: {exc}", file=sys.stderr)
+        return 2
+
+
+def _parallel_run(argv: list[str]) -> int:
+    from repro.core.config import NeuroFluxConfig
+    from repro.core.controller import NeuroFlux
+    from repro.data.registry import dataset_spec
+    from repro.errors import ConfigError
+    from repro.models.zoo import build_model
+    from repro.parallel import DEFAULT_EDGE_CLUSTER, Cluster
+
+    args = build_parallel_parser().parse_args(argv)
+    names = args.devices if args.devices else list(DEFAULT_EDGE_CLUSTER)
+    # Validate the cluster and knobs before paying for planning/training.
+    cluster = Cluster.from_names(names)
+    if args.epochs < 1:
+        raise ConfigError("--epochs must be >= 1")
+    budget = int(args.budget_mb * 2**20)
+    data = dataset_spec(
+        "cifar10",
+        num_classes=4,
+        image_hw=(16, 16),
+        scale=0.01,
+        noise_std=0.4,
+        seed=7 + args.seed,
+    ).materialize()
+    model = build_model(
+        args.model,
+        num_classes=4,
+        input_hw=(16, 16),
+        width_multiplier=0.25,
+        seed=3 + args.seed,
+    )
+    system = NeuroFlux(
+        model,
+        data,
+        memory_budget=budget,
+        config=NeuroFluxConfig(batch_limit=64, seed=args.seed),
+    )
+    placement = "round-robin" if args.placement == "round-robin" else None
+    print(
+        f"training {model.name} with NeuroFlux across "
+        f"{'+'.join(d.platform.name for d in cluster)} "
+        f"({args.schedule}, {args.epochs} epochs)...",
+        file=sys.stderr,
+    )
+    report = system.train_parallel(
+        cluster,
+        epochs=args.epochs,
+        schedule=args.schedule,
+        placement=placement,
+        microbatch=args.microbatch,
+        queue_capacity=args.queue_capacity,
+    )
+    print(report.summary())
     return 0
 
 
@@ -211,6 +349,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "parallel":
+        return _parallel_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.perf.bench import main as bench_main
 
@@ -221,6 +361,7 @@ def main(argv: list[str] | None = None) -> int:
         for key, (desc, _) in EXPERIMENTS.items():
             print(f"{key.ljust(width)}  {desc}")
         print(f"{'serve'.ljust(width)}  early-exit serving simulator (serve --help)")
+        print(f"{'parallel'.ljust(width)}  multi-device pipeline training (parallel --help)")
         print(f"{'bench'.ljust(width)}  kernel wall-clock benchmarks (bench --help)")
         return 0
     if args.experiment == "all":

@@ -24,7 +24,7 @@ from repro.core.early_exit import (
 )
 from repro.core.partitioner import Block, partition, validate_partition
 from repro.core.prefetcher import rebatch
-from repro.core.profiler import MemoryProfiler, measure_unit_memory
+from repro.core.profiler import MemoryProfiler, block_residency_bytes
 from repro.core.report import BlockReport, NeuroFluxReport
 from repro.core.worker import BlockWorker
 from repro.data.datasets import SyntheticImageDataset
@@ -38,6 +38,101 @@ from repro.nn import make_optimizer
 from repro.perf import BufferPool
 from repro.training.common import HistoryPoint, TrainResult, evaluate_classifier
 from repro.utils.rng import spawn_rng
+
+
+class _SingleDeviceContext:
+    """Default execution placement: every block trains on one device.
+
+    The execution-context protocol lets :meth:`NeuroFlux._execute` run the
+    identical block-by-block training loop whether blocks live on one
+    simulator (this class) or on the devices of a cluster
+    (:class:`_ClusterSequentialContext`) -- which is what makes the
+    parallel ``schedule="sequential"`` bit-identical to :meth:`NeuroFlux.run`.
+    """
+
+    def __init__(self, platform: Platform, memory_budget: int):
+        self.sim = ExecutionSimulator(platform)
+        self.gpu = SimulatedGpu(budget_bytes=memory_budget)
+        self.comm_bytes = 0
+
+    def sim_for_block(self, block_index: int) -> ExecutionSimulator:
+        return self.sim
+
+    def gpu_for_block(self, block_index: int) -> SimulatedGpu:
+        return self.gpu
+
+    @property
+    def profiling_sim(self) -> ExecutionSimulator:
+        return self.sim
+
+    def handoff(self, from_block: int, to_block: int, nbytes: int) -> float:
+        """Move cached activations between consecutive blocks (free here)."""
+        return 0.0
+
+    @property
+    def elapsed(self) -> float:
+        return self.sim.elapsed
+
+    def merged_ledger(self):
+        return self.sim.ledger
+
+    @property
+    def peak_memory(self) -> int:
+        return self.gpu.peak
+
+
+class _ClusterSequentialContext:
+    """Blocks still train one after another, each on its placed device.
+
+    The dataflow (and therefore every weight update) is identical to the
+    single-device run; only the accounting changes: each block charges its
+    own device's simulator, cached activations crossing devices charge the
+    link to the sender's ``communication`` category, and the global clock
+    is the sum of all device ledgers (devices never overlap here).
+    """
+
+    def __init__(self, cluster, placement: list[int]):
+        self.cluster = cluster
+        self.placement = list(placement)
+        self.gpus = [
+            SimulatedGpu(budget_bytes=device.memory_budget) for device in cluster
+        ]
+        self._base_elapsed = cluster.total_elapsed
+        self._base_ledgers = cluster.ledger_snapshot()
+        self.comm_bytes = 0
+
+    def sim_for_block(self, block_index: int) -> ExecutionSimulator:
+        return self.cluster[self.placement[block_index]].sim
+
+    def gpu_for_block(self, block_index: int) -> SimulatedGpu:
+        return self.gpus[self.placement[block_index]]
+
+    @property
+    def profiling_sim(self) -> ExecutionSimulator:
+        return self.cluster[self.placement[0]].sim
+
+    def handoff(self, from_block: int, to_block: int, nbytes: int) -> float:
+        if to_block >= len(self.placement):
+            return 0.0
+        src, dst = self.placement[from_block], self.placement[to_block]
+        if src != dst:
+            self.comm_bytes += int(nbytes)
+        return self.cluster.charge_transfer(src, dst, nbytes)
+
+    @property
+    def elapsed(self) -> float:
+        return self.cluster.total_elapsed - self._base_elapsed
+
+    def merged_ledger(self):
+        from repro.parallel.cluster import ledger_delta, merge_ledger_deltas
+
+        return merge_ledger_deltas(
+            ledger_delta(self.cluster.ledger_snapshot(), self._base_ledgers)
+        )
+
+    @property
+    def peak_memory(self) -> int:
+        return max(gpu.peak for gpu in self.gpus)
 
 
 class NeuroFlux:
@@ -150,13 +245,57 @@ class NeuroFlux:
                 )
                 yield x, y
 
-    def _block_residency_bytes(self, block: Block) -> int:
-        """Peak working set of training this block (worst member layer)."""
-        return max(
-            measure_unit_memory(
-                self.specs[i], self.aux_heads[i], block.batch_size, self.config.optimizer
+    def _attach_workspaces(self) -> None:
+        """One buffer pool for the whole run: block workers, aux heads and
+        the cached-forward passes all reuse the same per-step scratch."""
+        ws_pool = BufferPool()
+        self.model.attach_workspace(ws_pool)
+        for aux in self.aux_heads:
+            aux.attach_workspace(ws_pool)
+
+    def _detach_workspaces(self) -> None:
+        self.model.detach_workspace()
+        for aux in self.aux_heads:
+            aux.detach_workspace()
+
+    def _charge_profiling(
+        self, psim: ExecutionSimulator, profiling_flops: float
+    ) -> float:
+        """Book the §6.4 profiling overhead on the given device."""
+        return psim.add_profiling(
+            profiling_flops / psim.platform.effective_flops
+            + len(self.specs) * psim.platform.kernel_launch_overhead
+        )
+
+    def _build_worker(self, block: Block, sim: ExecutionSimulator) -> BlockWorker:
+        """The block's trainer: one optimizer per member unit, one device."""
+        cfg = self.config
+        optimizers = [
+            make_optimizer(
+                cfg.optimizer,
+                self.specs[i].module.parameters()
+                + self.aux_heads[i].parameters(),
+                lr=cfg.lr,
             )
             for i in block.layer_indices
+        ]
+        return BlockWorker(
+            [self.specs[i] for i in block.layer_indices],
+            [self.aux_heads[i] for i in block.layer_indices],
+            optimizers,
+            sim,
+            sample_bytes=self.data.spec.sample_bytes,
+            backward_multiplier=cfg.backward_multiplier,
+        )
+
+    def _block_residency_bytes(self, block: Block) -> int:
+        """Peak working set of training this block (worst member layer)."""
+        return block_residency_bytes(
+            self.specs,
+            list(self.aux_heads),
+            block.layer_indices,
+            block.batch_size,
+            self.config.optimizer,
         )
 
     def _exit_accuracy(
@@ -170,25 +309,29 @@ class NeuroFlux:
 
     # -- the whole pipeline (steps 0-4) ---------------------------------------
     def run(self, epochs: int, time_budget_s: float | None = None) -> NeuroFluxReport:
+        ctx = _SingleDeviceContext(self.platform, self.memory_budget)
+        return self._execute(epochs, time_budget_s, ctx)
+
+    def _execute(
+        self,
+        epochs: int,
+        time_budget_s: float | None,
+        ctx,
+        plan: tuple[list[Block], float] | None = None,
+    ) -> NeuroFluxReport:
+        """Block-by-block training loop, placed by an execution context.
+
+        ``plan`` lets callers that already profiled/partitioned (e.g.
+        :meth:`train_parallel`) pass their ``(blocks, profiling_flops)``
+        instead of paying for :meth:`plan` again.
+        """
         if epochs < 1:
             raise ConfigError("epochs must be >= 1")
         cfg = self.config
-        sim = ExecutionSimulator(self.platform)
-        gpu = SimulatedGpu(budget_bytes=self.memory_budget)
         store = ActivationStore(cfg.cache_dir)
-
-        # One buffer pool for the whole run: block workers, aux heads and
-        # the cached-forward passes all reuse the same per-step scratch.
-        ws_pool = BufferPool()
-        self.model.attach_workspace(ws_pool)
-        for aux in self.aux_heads:
-            aux.attach_workspace(ws_pool)
-
-        blocks, profiling_flops = self.plan()
-        profiling_time = sim.add_profiling(
-            profiling_flops / self.platform.effective_flops
-            + len(self.specs) * self.platform.kernel_launch_overhead
-        )
+        self._attach_workspaces()
+        blocks, profiling_flops = self.plan() if plan is None else plan
+        profiling_time = self._charge_profiling(ctx.profiling_sim, profiling_flops)
 
         result = TrainResult(
             method="neuroflux",
@@ -210,10 +353,11 @@ class NeuroFlux:
         val_feats_sub = self.data.x_val[:n_eval]
         val_y_sub = self.data.y_val[:n_eval]
         best_acc_so_far = 0.0
-        sample_bytes = self.data.spec.sample_bytes
 
         try:
             for block in blocks:
+                sim = ctx.sim_for_block(block.index)
+                gpu = ctx.gpu_for_block(block.index)
                 # §3.1: load the block into GPU memory, others to storage.
                 block_specs = [self.specs[i] for i in block.layer_indices]
                 block_aux = [self.aux_heads[i] for i in block.layer_indices]
@@ -223,26 +367,9 @@ class NeuroFlux:
                 sim.ledger.overhead += sim.storage_time(block_param_bytes, n_ops=1)
                 residency = self._block_residency_bytes(block)
                 handle = gpu.alloc(residency, f"block{block.index}")
+                worker = self._build_worker(block, sim)
 
-                optimizers = [
-                    make_optimizer(
-                        cfg.optimizer,
-                        self.specs[i].module.parameters()
-                        + self.aux_heads[i].parameters(),
-                        lr=cfg.lr,
-                    )
-                    for i in block.layer_indices
-                ]
-                worker = BlockWorker(
-                    block_specs,
-                    block_aux,
-                    optimizers,
-                    sim,
-                    sample_bytes=sample_bytes,
-                    backward_multiplier=cfg.backward_multiplier,
-                )
-
-                block_t0 = sim.elapsed
+                block_t0 = ctx.elapsed
                 mean_loss = float("nan")
                 stop = False
                 for epoch in range(epochs):
@@ -252,9 +379,14 @@ class NeuroFlux:
                         input_mode = "prefetch-cache"
                     else:
                         input_mode = "prefetch-raw"
+                    # The worker budget-checks against its own device clock;
+                    # discount whatever the other devices already spent.
+                    pass_budget = None
+                    if time_budget_s is not None:
+                        pass_budget = time_budget_s - (ctx.elapsed - sim.elapsed)
                     _, n_samples, mean_loss = worker.train_pass(
                         batches,
-                        time_budget_s=time_budget_s,
+                        time_budget_s=pass_budget,
                         input_mode=input_mode,
                     )
                     # History: best exit accuracy among the layers trained
@@ -268,14 +400,14 @@ class NeuroFlux:
                         best_acc_so_far = max(best_acc_so_far, acc)
                     result.history.append(
                         HistoryPoint(
-                            sim.elapsed,
+                            ctx.elapsed,
                             epoch + 1,
                             best_acc_so_far,
                             mean_loss,
                             "val",
                         )
                     )
-                    if time_budget_s is not None and sim.elapsed >= time_budget_s:
+                    if time_budget_s is not None and ctx.elapsed >= time_budget_s:
                         stop = True
                         break
 
@@ -286,6 +418,7 @@ class NeuroFlux:
                     def save(x: np.ndarray, y: np.ndarray) -> None:
                         nbytes = store.write(block.index, x, y)
                         sim.add_cache_write(nbytes, n_files=1)
+                        ctx.handoff(block.index, block.index + 1, x.nbytes + y.nbytes)
 
                     epoch_rng = spawn_rng(cfg.seed, f"nf/block{block.index}/cachepass")
                     worker.forward_pass(
@@ -308,7 +441,7 @@ class NeuroFlux:
                         index=block.index,
                         layer_indices=list(block.layer_indices),
                         batch_size=block.batch_size,
-                        sim_time_s=sim.elapsed - block_t0,
+                        sim_time_s=ctx.elapsed - block_t0,
                         cache_bytes=store.bytes_written - cache_bytes_before,
                         mean_loss=mean_loss,
                     )
@@ -316,46 +449,337 @@ class NeuroFlux:
                 if stop:
                     break
 
-            # §4: evaluate every layer as an exit point on the full val set
-            # and select the output model.
-            feats = self.data.x_val
-            candidates = []
-            accuracies = []
-            for spec, aux in zip(self.specs, self.aux_heads):
-                spec.module.eval()
-                feats = spec.module.forward(feats)
-                acc = self._exit_accuracy(feats, self.data.y_val, spec.index)
-                accuracies.append(acc)
-                stages = [s.module for s in self.specs[: spec.index + 1]]
-                candidates.append(
-                    ExitCandidate(
-                        layer_index=spec.index,
-                        val_accuracy=acc,
-                        num_parameters=exit_model_parameters(stages, aux),
-                    )
-                )
-            report.layer_val_accuracies = accuracies
-            chosen = select_exit(candidates, tolerance=cfg.exit_tolerance)
-            report.exit_layer = chosen.layer_index
-            report.exit_params = chosen.num_parameters
-            report.exit_val_accuracy = chosen.val_accuracy
-
-            exit_model = self.build_exit_model(chosen.layer_index)
-            report.exit_test_accuracy = evaluate_classifier(
-                exit_model.forward, self.data.x_test, self.data.y_test
-            )
-            result.final_accuracy = report.exit_test_accuracy
-            result.sim_time_s = sim.elapsed
-            result.ledger = sim.ledger
-            result.peak_memory_bytes = gpu.peak
+            self._finalize_exits(report)
+            result.sim_time_s = ctx.elapsed
+            result.ledger = ctx.merged_ledger()
+            result.peak_memory_bytes = ctx.peak_memory
             report.cache_bytes_written = store.bytes_written
             report.profiling_time_s = profiling_time
         finally:
-            self.model.detach_workspace()
-            for aux in self.aux_heads:
-                aux.detach_workspace()
+            self._detach_workspaces()
             store.close()
         return report
+
+    def _finalize_exits(self, report: NeuroFluxReport) -> None:
+        """§4: evaluate every layer as an exit point on the full val set
+        and select the output model."""
+        feats = self.data.x_val
+        candidates = []
+        accuracies = []
+        for spec, aux in zip(self.specs, self.aux_heads):
+            spec.module.eval()
+            feats = spec.module.forward(feats)
+            acc = self._exit_accuracy(feats, self.data.y_val, spec.index)
+            accuracies.append(acc)
+            stages = [s.module for s in self.specs[: spec.index + 1]]
+            candidates.append(
+                ExitCandidate(
+                    layer_index=spec.index,
+                    val_accuracy=acc,
+                    num_parameters=exit_model_parameters(stages, aux),
+                )
+            )
+        report.layer_val_accuracies = accuracies
+        chosen = select_exit(candidates, tolerance=self.config.exit_tolerance)
+        report.exit_layer = chosen.layer_index
+        report.exit_params = chosen.num_parameters
+        report.exit_val_accuracy = chosen.val_accuracy
+
+        exit_model = self.build_exit_model(chosen.layer_index)
+        report.exit_test_accuracy = evaluate_classifier(
+            exit_model.forward, self.data.x_test, self.data.y_test
+        )
+        report.result.final_accuracy = report.exit_test_accuracy
+
+    # -- multi-device training (repro.parallel) ------------------------------
+    def train_parallel(
+        self,
+        cluster,
+        epochs: int,
+        schedule: str = "pipelined",
+        placement: list[int] | str | None = None,
+        microbatch: int | None = None,
+        queue_capacity: int = 2,
+        time_budget_s: float | None = None,
+    ):
+        """Train this system across a simulated device cluster.
+
+        ``schedule="sequential"`` keeps today's semantics exactly -- blocks
+        train one after another (each on its placed device), so the final
+        weights are bit-identical to :meth:`run` with the same config and
+        seed; only the time accounting is distributed.
+        ``schedule="pipelined"`` streams micro-batches through all blocks
+        at once: block ``k`` trains on activations from a still-improving
+        block ``k-1`` (strict dataflow order -- upstream weights are one
+        update ahead, regardless of ``queue_capacity``, which shapes only
+        the timing model), devices overlap, and the report carries
+        makespan, per-device utilization and bubble fraction.
+
+        ``placement`` maps each partition block to a device index; when
+        ``None`` the pipelined schedule runs the local-search optimizer
+        and the sequential schedule puts each block on its fastest
+        fitting device; the literal string ``"round-robin"`` selects the
+        naive baseline.
+        ``microbatch`` defaults to the smallest block batch size (feasible
+        for every block by construction).  Returns a
+        :class:`repro.parallel.report.ParallelReport`.
+        """
+        from repro.errors import PlacementError
+        from repro.parallel.cluster import ledger_delta, merge_ledger_deltas
+        from repro.parallel.placement import (
+            build_problem,
+            optimize_placement,
+            placement_feasible,
+            predict_makespan,
+            round_robin_placement,
+        )
+        from repro.parallel.report import ParallelReport
+
+        if schedule not in ("sequential", "pipelined"):
+            raise ConfigError(f"unknown schedule {schedule!r}")
+        if epochs < 1:
+            raise ConfigError("epochs must be >= 1")
+        cfg = self.config
+        blocks, profiling_flops = self.plan()
+        if microbatch is None:
+            microbatch = min(b.batch_size for b in blocks)
+        if microbatch < 1:
+            raise ConfigError("microbatch must be >= 1")
+        problem = build_problem(
+            blocks,
+            self.specs,
+            list(self.aux_heads),
+            cluster,
+            microbatch,
+            n_train=len(self.data.x_train),
+            epochs=epochs,
+            sample_bytes=self.data.spec.sample_bytes,
+            optimizer=cfg.optimizer,
+            backward_multiplier=cfg.backward_multiplier,
+            queue_capacity=queue_capacity,
+        )
+        if placement is None:
+            if schedule == "pipelined":
+                placement = list(optimize_placement(problem).placement)
+            else:
+                # The pipelined optimizer's all-resident feasibility model
+                # would over-constrain a schedule that loads one block at a
+                # time; pick each block's fastest fitting device instead.
+                placement = self._sequential_placement(cluster, blocks, problem)
+        else:
+            if isinstance(placement, str):
+                if placement != "round-robin":
+                    raise ConfigError(f"unknown placement strategy {placement!r}")
+                placement = round_robin_placement(len(blocks), len(cluster))
+            placement = list(placement)
+            if len(placement) != len(blocks):
+                raise ConfigError(
+                    f"one device per block required: {len(placement)} vs {len(blocks)}"
+                )
+            for d in placement:
+                if not 0 <= d < len(cluster):
+                    raise ConfigError(f"placement device {d} out of range")
+        # Feasibility depends on the schedule's residency model: pipelined
+        # keeps every block resident at the micro-batch size (co-located
+        # blocks sum), sequential loads one block at a time at its own
+        # adaptive batch size (no summing, but the bigger batch).
+        if schedule == "pipelined":
+            if not placement_feasible(problem, placement):
+                raise PlacementError(
+                    f"placement {placement} exceeds a device memory budget "
+                    f"with all blocks resident"
+                )
+        else:
+            for block in blocks:
+                device = cluster[placement[block.index]]
+                need = self._block_residency_bytes(block)
+                if need > device.memory_budget:
+                    raise PlacementError(
+                        f"block {block.index} needs {need} B at batch "
+                        f"{block.batch_size}, exceeding {device.name}'s "
+                        f"{device.memory_budget} B budget"
+                    )
+        predicted = predict_makespan(problem, placement)
+        base_ledgers = cluster.ledger_snapshot()
+
+        if schedule == "sequential":
+            ctx = _ClusterSequentialContext(cluster, placement)
+            report = self._execute(
+                epochs, time_budget_s, ctx, plan=(blocks, profiling_flops)
+            )
+            report.result.extras["schedule"] = schedule
+            makespan = ctx.elapsed
+            ledgers = ledger_delta(cluster.ledger_snapshot(), base_ledgers)
+            busy = [ledger["total"] for ledger in ledgers]
+            utilization = [
+                b / makespan if makespan > 0 else 0.0 for b in busy
+            ]
+            active = [d in set(placement) for d in range(len(cluster))]
+            used = [u for u, a in zip(utilization, active) if a]
+            bubble = 1.0 - sum(used) / len(used) if used else float("nan")
+            comm_bytes = ctx.comm_bytes
+            # No micro-batch stream ran: blocks iterated at their own
+            # adaptive batch sizes through the loader/cache path.
+            n_micro = 0
+        else:
+            report, stats = self._run_pipelined(
+                cluster, blocks, placement, problem, epochs,
+                queue_capacity, time_budget_s, profiling_flops,
+            )
+            report.result.extras["schedule"] = schedule
+            makespan = stats.makespan_s
+            ledgers = ledger_delta(cluster.ledger_snapshot(), base_ledgers)
+            report.result.ledger = merge_ledger_deltas(ledgers)
+            utilization = stats.utilization
+            bubble = stats.bubble_fraction
+            comm_bytes = stats.comm_bytes
+            n_micro = stats.n_microbatches
+        report.result.platform_name = "+".join(
+            device.platform.name for device in cluster
+        )
+        return ParallelReport(
+            schedule=schedule,
+            placement=placement,
+            device_names=[device.name for device in cluster],
+            report=report,
+            makespan_s=makespan,
+            predicted_makespan_s=predicted,
+            device_ledgers=ledgers,
+            utilization=list(utilization),
+            bubble_fraction=bubble,
+            comm_bytes=comm_bytes,
+            microbatch=microbatch,
+            n_microbatches=n_micro,
+        )
+
+    def _sequential_placement(self, cluster, blocks, problem) -> list[int]:
+        """Default placement for the sequential schedule.
+
+        Blocks run one at a time, so the makespan is simply the sum of
+        per-block times: put each block on its fastest device that fits it
+        at the block's own adaptive batch size, staying put on ties to
+        avoid link hops.
+        """
+        from repro.errors import PlacementError
+
+        placement: list[int] = []
+        prev = 0
+        for block in blocks:
+            need = self._block_residency_bytes(block)
+            candidates = [
+                d for d, device in enumerate(cluster)
+                if need <= device.memory_budget
+            ]
+            if not candidates:
+                raise PlacementError(
+                    f"block {block.index} needs {need} B at batch "
+                    f"{block.batch_size}; no device budget fits it"
+                )
+            best = min(
+                candidates,
+                key=lambda d: (
+                    problem.step_times[block.index][d],
+                    0 if d == prev else 1,
+                ),
+            )
+            placement.append(best)
+            prev = best
+        return placement
+
+    def _run_pipelined(
+        self,
+        cluster,
+        blocks,
+        placement: list[int],
+        problem,
+        epochs: int,
+        queue_capacity: int,
+        time_budget_s: float | None,
+        profiling_flops: float,
+    ):
+        """Pipelined schedule: all blocks resident and training at once."""
+        from repro.parallel.pipeline import PipelineExecutor
+
+        cfg = self.config
+        profiling_time = self._charge_profiling(
+            cluster[placement[0]].sim, profiling_flops
+        )
+        self._attach_workspaces()
+
+        gpus = [SimulatedGpu(budget_bytes=d.memory_budget) for d in cluster]
+        handles = []
+        workers = []
+        for block in blocks:
+            gpu = gpus[placement[block.index]]
+            handles.append(
+                (gpu, gpu.alloc(
+                    problem.costs[block.index].residency_bytes,
+                    f"block{block.index}",
+                ))
+            )
+            workers.append(
+                self._build_worker(block, cluster[placement[block.index]].sim)
+            )
+
+        result = TrainResult(
+            method="neuroflux-pipelined",
+            model_name=self.model.name,
+            dataset_name=self.data.spec.name,
+            platform_name=self.platform.name,
+            epochs=epochs,
+            batch_size=problem.microbatch,
+            num_parameters=self.model.num_parameters(),
+        )
+        report = NeuroFluxReport(
+            result=result,
+            blocks=blocks,
+            full_model_params=self.model.num_parameters(),
+            dataset_bytes=self.data.spec.train_bytes,
+        )
+
+        n_eval = min(cfg.eval_subset, len(self.data.x_val))
+        val_x_sub = self.data.x_val[:n_eval]
+        val_y_sub = self.data.y_val[:n_eval]
+        best_acc_so_far = 0.0
+
+        def on_epoch_end(epoch: int, makespan: float, mean_loss: float) -> None:
+            nonlocal best_acc_so_far
+            feats = val_x_sub
+            for spec in self.specs:
+                spec.module.eval()
+                feats = spec.module.forward(feats)
+                spec.module.train()
+                acc = self._exit_accuracy(feats, val_y_sub, spec.index)
+                best_acc_so_far = max(best_acc_so_far, acc)
+            result.history.append(
+                HistoryPoint(makespan, epoch + 1, best_acc_so_far, mean_loss, "val")
+            )
+
+        start_offsets = [0.0] * len(cluster)
+        start_offsets[placement[0]] = profiling_time
+        executor = PipelineExecutor(
+            cluster,
+            placement,
+            workers,
+            self.data.x_train,
+            self.data.y_train,
+            problem.microbatch,
+            seed=cfg.seed,
+            queue_capacity=queue_capacity,
+            start_offsets=start_offsets,
+            on_epoch_end=on_epoch_end,
+        )
+        try:
+            stats = executor.run(epochs, time_budget_s)
+            self._finalize_exits(report)
+        finally:
+            self._detach_workspaces()
+            for gpu, handle in handles:
+                gpu.free(handle)
+        result.sim_time_s = stats.makespan_s
+        result.peak_memory_bytes = max(gpu.peak for gpu in gpus)
+        report.profiling_time_s = profiling_time
+        return report, stats
 
     def build_exit_model(self, exit_layer: int) -> EarlyExitModel:
         """Assemble the deployable early-exit model for a given layer."""

@@ -106,6 +106,25 @@ def measure_unit_memory(
     return measure_peak(plan, gpu)
 
 
+def block_residency_bytes(
+    specs: list[LayerSpec],
+    aux_heads: list[Module | None],
+    layer_indices: list[int],
+    batch_size: int,
+    optimizer: str = "sgd-momentum",
+) -> int:
+    """Peak working set of training a block: its worst member unit.
+
+    Only one layer of a block trains at a time, so the block's residency
+    is the max over member units -- the rule the controller allocates by
+    and the placement optimizer budgets with.
+    """
+    return max(
+        measure_unit_memory(specs[i], aux_heads[i], batch_size, optimizer)
+        for i in layer_indices
+    )
+
+
 @dataclass
 class ProfileResult:
     """Output of the Profiler: one linear model per layer, plus overheads."""

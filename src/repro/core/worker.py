@@ -24,6 +24,28 @@ from repro.nn.optim import Optimizer
 from repro.training.common import count_module_kernels
 
 
+def unit_train_flops(
+    spec: LayerSpec, aux: Module, backward_multiplier: float = 2.0
+) -> int:
+    """Per-sample training-step FLOPs of one local unit (layer + aux head).
+
+    The single source of truth shared by the worker's simulator charges
+    and the placement optimizer's cost model -- if these diverged, the
+    optimizer would price a schedule the executor never runs.
+    """
+    in_shape = (1, spec.in_channels, *spec.in_hw)
+    fwd, out_shape = module_forward_flops(spec.module, in_shape)
+    total = training_step_flops(fwd, backward_multiplier)
+    aux_fwd, _ = module_forward_flops(aux, out_shape)
+    total += training_step_flops(aux_fwd, backward_multiplier)
+    return total
+
+
+def unit_kernel_count(spec: LayerSpec, aux: Module) -> int:
+    """Kernel dispatches of one local unit (layer + aux head)."""
+    return count_module_kernels(spec.module) + count_module_kernels(aux)
+
+
 class BlockWorker:
     """Trains the layers of one block with per-layer local losses."""
 
@@ -48,21 +70,15 @@ class BlockWorker:
         self.sample_bytes = sample_bytes
         self.backward_multiplier = backward_multiplier
         self.loss_fn = CrossEntropyLoss()
-        self._train_flops_per_sample = self._compute_train_flops()
+        self._train_flops_per_sample = sum(
+            unit_train_flops(spec, aux, backward_multiplier)
+            for spec, aux in zip(layer_specs, aux_heads)
+        )
         self._forward_flops_per_sample = self._compute_forward_flops()
         self._n_kernels = sum(
-            count_module_kernels(s.module) for s in layer_specs
-        ) + sum(count_module_kernels(a) for a in aux_heads)
-
-    def _compute_train_flops(self) -> int:
-        total = 0
-        for spec, aux in zip(self.layer_specs, self.aux_heads):
-            in_shape = (1, spec.in_channels, *spec.in_hw)
-            fwd, out_shape = module_forward_flops(spec.module, in_shape)
-            total += training_step_flops(fwd, self.backward_multiplier)
-            aux_fwd, _ = module_forward_flops(aux, out_shape)
-            total += training_step_flops(aux_fwd, self.backward_multiplier)
-        return total
+            unit_kernel_count(spec, aux)
+            for spec, aux in zip(layer_specs, aux_heads)
+        )
 
     def _compute_forward_flops(self) -> int:
         total = 0
@@ -79,6 +95,40 @@ class BlockWorker:
     @property
     def forward_flops_per_sample(self) -> int:
         return self._forward_flops_per_sample
+
+    def train_batch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        input_mode: str = "prefetch-raw",
+    ) -> tuple[np.ndarray, float, float]:
+        """One Algorithm-2 step over a single micro-batch.
+
+        Trains every layer of the block against its local loss, charges
+        the simulator for one optimizer step, and returns ``(block_output,
+        last_layer_loss, charged_seconds)``.  The pipeline executor calls
+        this directly to stream micro-batches between devices.
+        """
+        loss = float("nan")
+        for spec, aux, opt in zip(self.layer_specs, self.aux_heads, self.optimizers):
+            out = spec.module.forward(x)  # Eq. 1: x_{n+1} = alpha P theta x_n
+            z = aux.forward(out)  # Eq. 2: local prediction
+            loss = self.loss_fn(z, y)  # Alg. 2 line 5
+            dz = self.loss_fn.backward()
+            dout = aux.backward(dz)  # Alg. 2 line 6
+            # Local learning: the stage's input gradient is discarded,
+            # so its GEMM + scatter kernels are skipped outright.
+            run_backward(spec.module, dout, need_input_grad=False)
+            opt.step()  # Alg. 2 line 7
+            opt.zero_grad()
+            x = out
+        step_time = self.sim.add_training_step(
+            self._train_flops_per_sample * len(x),
+            self.sample_bytes * len(x),
+            self._n_kernels,
+            input_mode=input_mode,
+        )
+        return x, loss, step_time
 
     def train_pass(
         self,
@@ -99,27 +149,10 @@ class BlockWorker:
         n_samples = 0
         loss_sum = 0.0
         for x, y in batches:
-            for spec, aux, opt in zip(self.layer_specs, self.aux_heads, self.optimizers):
-                out = spec.module.forward(x)  # Eq. 1: x_{n+1} = alpha P theta x_n
-                z = aux.forward(out)  # Eq. 2: local prediction
-                loss = self.loss_fn(z, y)  # Alg. 2 line 5
-                dz = self.loss_fn.backward()
-                dout = aux.backward(dz)  # Alg. 2 line 6
-                # Local learning: the stage's input gradient is discarded,
-                # so its GEMM + scatter kernels are skipped outright.
-                run_backward(spec.module, dout, need_input_grad=False)
-                opt.step()  # Alg. 2 line 7
-                opt.zero_grad()
-                x = out
-            loss_sum += loss * len(x)
+            out, loss, _ = self.train_batch(x, y, input_mode=input_mode)
+            loss_sum += loss * len(out)
             n_batches += 1
-            n_samples += len(x)
-            self.sim.add_training_step(
-                self._train_flops_per_sample * len(x),
-                self.sample_bytes * len(x),
-                self._n_kernels,
-                input_mode=input_mode,
-            )
+            n_samples += len(out)
             if time_budget_s is not None and self.sim.elapsed >= time_budget_s:
                 break
         mean_loss = loss_sum / n_samples if n_samples else float("nan")

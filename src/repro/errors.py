@@ -46,3 +46,7 @@ class ProfilingError(ReproError):
 
 class PartitionError(ReproError):
     """The partitioner could not produce feasible blocks under the budget."""
+
+
+class PlacementError(ReproError):
+    """No block-to-device placement satisfies the device memory budgets."""

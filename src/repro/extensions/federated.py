@@ -10,7 +10,12 @@ synchronous FedAvg over NeuroFlux clients:
 * each round, clients run NeuroFlux locally from the current global
   weights, then the server averages stage and auxiliary-head parameters
   (shard-size weighted);
-* round latency is the slowest client's simulated time (synchronous).
+* clients are devices of a :class:`repro.parallel.cluster.Cluster`, so
+  per-client time comes from each device's own ledger: the local training
+  run's charges plus the model download/upload over the client's WAN link
+  (booked under ``communication``);
+* round latency is the slowest device's simulated time (synchronous
+  FedAvg -- the straggler sets the pace).
 """
 
 from __future__ import annotations
@@ -24,8 +29,9 @@ from repro.core.config import NeuroFluxConfig
 from repro.core.controller import NeuroFlux
 from repro.data.datasets import SyntheticImageDataset
 from repro.errors import ConfigError
-from repro.hw.platforms import AGX_ORIN, Platform
+from repro.hw.platforms import AGX_ORIN, WAN_100MBIT, Link, Platform
 from repro.models.zoo import build_model
+from repro.parallel.cluster import Cluster, Device
 from repro.training.common import evaluate_classifier
 
 
@@ -55,12 +61,13 @@ def federated_average(
 
 @dataclass
 class FederatedClient:
-    """One edge device: a data shard, budget and platform."""
+    """One edge device: a data shard, budget, platform and uplink."""
 
     client_id: int
     data: SyntheticImageDataset
     memory_budget: int
     platform: Platform = AGX_ORIN
+    link: Link = WAN_100MBIT
 
     @property
     def n_samples(self) -> int:
@@ -73,6 +80,8 @@ class FederatedRound:
     sim_time_s: float
     global_accuracy: float
     client_exit_layers: list[int] = field(default_factory=list)
+    client_times_s: list[float] = field(default_factory=list)
+    communication_time_s: float = 0.0
 
 
 @dataclass
@@ -125,9 +134,24 @@ class FederatedNeuroFlux:
             pool_to=self.config.aux_pool_to,
         )
         self._global_aux_states = [h.state_dict() for h in self._global_aux]
+        # The client fleet as a cluster: one device per client, so every
+        # client's compute and communication lands in its own ledger.
+        self.cluster = Cluster(
+            [
+                Device(platform=c.platform, memory_budget=c.memory_budget)
+                for c in clients
+            ]
+        )
 
     def _build_model(self):
         return build_model(self.model_name, seed=self.seed, **self.model_kwargs)
+
+    def _update_bytes(self) -> int:
+        """Bytes of one full model+heads update (download or upload)."""
+        nbytes = sum(a.nbytes for a in self._global_state.values())
+        for state in self._global_aux_states:
+            nbytes += sum(a.nbytes for a in state.values())
+        return nbytes
 
     def run(self, rounds: int, local_epochs: int = 1) -> FederatedResult:
         if rounds < 1:
@@ -140,7 +164,14 @@ class FederatedNeuroFlux:
             weights = []
             times = []
             exit_layers = []
-            for client in self.clients:
+            round_comm = 0.0
+            for client, device in zip(self.clients, self.cluster):
+                t0 = device.sim.elapsed
+                # Global model download + (below) local update upload, over
+                # the client's own WAN link.
+                round_comm += device.sim.add_communication(
+                    self._update_bytes(), client.link
+                )
                 model = self._build_model()
                 model.load_state_dict(self._global_state)
                 nf = NeuroFlux(
@@ -153,10 +184,14 @@ class FederatedNeuroFlux:
                 for head, state in zip(nf.aux_heads, self._global_aux_states):
                     head.load_state_dict(state)
                 report = nf.run(local_epochs)
+                device.sim.ledger.merge(report.result.ledger)
+                round_comm += device.sim.add_communication(
+                    self._update_bytes(), client.link
+                )
                 states.append(model.state_dict())
                 aux_states.append([h.state_dict() for h in nf.aux_heads])
                 weights.append(float(client.n_samples))
-                times.append(report.result.sim_time_s)
+                times.append(device.sim.elapsed - t0)
                 exit_layers.append(report.exit_layer)
             self._global_state = federated_average(states, weights)
             self._global_model.load_state_dict(self._global_state)
@@ -167,10 +202,19 @@ class FederatedNeuroFlux:
             for head, state in zip(self._global_aux, self._global_aux_states):
                 head.load_state_dict(state)
             acc = self._global_exit_accuracy(exit_layers)
-            round_time = max(times)  # synchronous round: slowest client
+            # Synchronous round: the straggler (slowest device ledger
+            # delta, compute + communication) sets the round latency.
+            round_time = max(times)
             total_time += round_time
             history.append(
-                FederatedRound(round_idx, round_time, acc, exit_layers)
+                FederatedRound(
+                    round_idx,
+                    round_time,
+                    acc,
+                    exit_layers,
+                    client_times_s=times,
+                    communication_time_s=round_comm,
+                )
             )
         return FederatedResult(
             rounds=history,

@@ -7,9 +7,13 @@ Jetson Nano, Jetson Xavier NX and Jetson AGX Orin.
 from repro.hw.platforms import (
     AGX_ORIN,
     ALL_PLATFORMS,
+    GIGABIT_ETHERNET,
     JETSON_NANO,
     RASPBERRY_PI_4B,
+    WAN_100MBIT,
+    WIFI_AC,
     XAVIER_NX,
+    Link,
     Platform,
     get_platform,
 )
@@ -19,10 +23,14 @@ __all__ = [
     "AGX_ORIN",
     "ALL_PLATFORMS",
     "ExecutionSimulator",
+    "GIGABIT_ETHERNET",
     "JETSON_NANO",
+    "Link",
     "Platform",
     "RASPBERRY_PI_4B",
     "TimeLedger",
+    "WAN_100MBIT",
+    "WIFI_AC",
     "XAVIER_NX",
     "get_platform",
 ]

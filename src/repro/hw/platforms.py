@@ -22,6 +22,43 @@ MIB = 1024**2
 
 
 @dataclass(frozen=True)
+class Link:
+    """A network path between two devices of a simulated cluster.
+
+    Attributes:
+        bandwidth: sustained transfer rate in bytes/s.
+        latency: fixed per-transfer latency in seconds (protocol + hop).
+        name: display name.
+    """
+
+    bandwidth: float
+    latency: float
+    name: str = "link"
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigError("link bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigError("link latency must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` across this link."""
+        if nbytes < 0:
+            raise ConfigError("nbytes must be non-negative")
+        return self.latency + nbytes / self.bandwidth
+
+
+#: Wired LAN between edge boards on the same switch (cluster default).
+GIGABIT_ETHERNET = Link(bandwidth=125e6, latency=2e-4, name="1GbE")
+
+#: 802.11ac wireless -- what a shelf of Jetsons without a switch gets.
+WIFI_AC = Link(bandwidth=30e6, latency=2e-3, name="wifi-ac")
+
+#: Wide-area uplink of a federated edge client (100 Mbit/s, 20 ms RTT-ish).
+WAN_100MBIT = Link(bandwidth=12.5e6, latency=20e-3, name="wan-100mbit")
+
+
+@dataclass(frozen=True)
 class Platform:
     """A compute platform for the execution-time simulator.
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 from repro.errors import ConfigError
-from repro.hw.platforms import Platform
+from repro.hw.platforms import Link, Platform
 
 
 @dataclass
@@ -27,6 +27,7 @@ class TimeLedger:
     overhead: float = 0.0
     profiling: float = 0.0
     serving: float = 0.0
+    communication: float = 0.0
 
     @property
     def total(self) -> float:
@@ -121,6 +122,17 @@ class ExecutionSimulator:
             + n_kernels * self.platform.kernel_launch_overhead
         )
         self.ledger.serving += t
+        return t
+
+    def add_communication(self, nbytes: float, link: Link) -> float:
+        """Account an inter-device transfer (activations, parameters).
+
+        Charged to the ``communication`` category of *this* device's ledger;
+        by convention the sender pays (the receiver merely waits, which the
+        pipeline executor surfaces as bubble time rather than ledger cost).
+        """
+        t = link.transfer_time(nbytes)
+        self.ledger.communication += t
         return t
 
     def add_cache_write(self, nbytes: float, n_files: int = 1) -> float:

@@ -1,0 +1,186 @@
+"""Simulated multi-device cluster for pipeline-parallel training.
+
+NeuroFlux blocks have only a forward activation dependency (local losses,
+no global backward), so they map cleanly onto a chain of devices.  This
+module models the substrate: a set of :class:`~repro.hw.platforms.Platform`
+devices, each with its own :class:`~repro.hw.simulator.ExecutionSimulator`
+(and therefore its own :class:`~repro.hw.simulator.TimeLedger`), connected
+by :class:`~repro.hw.platforms.Link` descriptors.  Transfers between
+devices are charged to the sender's ``communication`` ledger category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Iterator
+
+from repro.errors import ConfigError
+from repro.hw.platforms import GIGABIT_ETHERNET, Link, Platform, get_platform
+from repro.hw.simulator import ExecutionSimulator, TimeLedger
+
+
+@dataclass
+class Device:
+    """One compute node of a simulated cluster.
+
+    Attributes:
+        platform: hardware descriptor (peak FLOPs, bandwidths, overheads).
+        memory_budget: bytes of training memory available on this device;
+            defaults to the platform's RAM.  The placement optimizer keeps
+            the resident blocks of a device under this budget.
+        index: position within the owning cluster (assigned by ``Cluster``).
+        sim: the device's private execution simulator / time ledger.
+    """
+
+    platform: Platform
+    memory_budget: int | None = None
+    index: int = -1
+    sim: ExecutionSimulator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.memory_budget is None:
+            self.memory_budget = self.platform.memory_bytes
+        if self.memory_budget <= 0:
+            raise ConfigError("device memory budget must be positive")
+        self.sim = ExecutionSimulator(self.platform)
+
+    @property
+    def name(self) -> str:
+        return f"dev{self.index}:{self.platform.name}"
+
+    @property
+    def elapsed(self) -> float:
+        return self.sim.elapsed
+
+
+class Cluster:
+    """A set of devices plus the links between them.
+
+    ``links`` overrides the default link for specific directed pairs
+    ``(src_index, dst_index)``; every other pair uses ``link``.  A transfer
+    within one device is free (no link is crossed).
+    """
+
+    def __init__(
+        self,
+        devices: list[Device],
+        link: Link = GIGABIT_ETHERNET,
+        links: dict[tuple[int, int], Link] | None = None,
+    ):
+        if not devices:
+            raise ConfigError("a cluster needs at least one device")
+        self.devices = list(devices)
+        for i, device in enumerate(self.devices):
+            device.index = i
+        self.default_link = link
+        self.links = dict(links) if links else {}
+        n = len(self.devices)
+        for src, dst in self.links:
+            if not (0 <= src < n and 0 <= dst < n):
+                raise ConfigError(f"link endpoint ({src}, {dst}) out of range")
+
+    @classmethod
+    def from_names(
+        cls,
+        names: list[str] | tuple[str, ...],
+        memory_budget: int | list[int] | None = None,
+        link: Link = GIGABIT_ETHERNET,
+        links: dict[tuple[int, int], Link] | None = None,
+    ) -> "Cluster":
+        """Build a cluster from platform short names (``agx-orin`` etc.).
+
+        ``memory_budget`` applies to every device when an int, per device
+        when a list, and falls back to platform RAM when ``None``.
+        """
+        if not names:
+            raise ConfigError("a cluster needs at least one device")
+        if isinstance(memory_budget, (list, tuple)):
+            if len(memory_budget) != len(names):
+                raise ConfigError(
+                    "one memory budget per device required: "
+                    f"{len(memory_budget)} vs {len(names)}"
+                )
+            budgets = list(memory_budget)
+        else:
+            budgets = [memory_budget] * len(names)
+        devices = [
+            Device(platform=get_platform(name), memory_budget=budget)
+            for name, budget in zip(names, budgets)
+        ]
+        return cls(devices, link=link, links=links)
+
+    # -- container protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self) -> Iterator[Device]:
+        return iter(self.devices)
+
+    def __getitem__(self, index: int) -> Device:
+        return self.devices[index]
+
+    # -- communication -------------------------------------------------------
+    def link_between(self, src: int, dst: int) -> Link | None:
+        """The link a ``src -> dst`` transfer crosses (``None`` if local)."""
+        if src == dst:
+            return None
+        return self.links.get((src, dst), self.default_link)
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` from device ``src`` to ``dst``."""
+        link = self.link_between(src, dst)
+        if link is None:
+            return 0.0
+        return link.transfer_time(nbytes)
+
+    def charge_transfer(self, src: int, dst: int, nbytes: float) -> float:
+        """Charge a transfer to the sender's ``communication`` ledger."""
+        link = self.link_between(src, dst)
+        if link is None:
+            return 0.0
+        return self.devices[src].sim.add_communication(nbytes, link)
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def total_elapsed(self) -> float:
+        """Sum of every device's ledger total (serialized-work clock)."""
+        return sum(d.sim.elapsed for d in self.devices)
+
+    def elapsed_snapshot(self) -> list[float]:
+        """Per-device elapsed times, for before/after deltas."""
+        return [d.sim.elapsed for d in self.devices]
+
+    def ledger_snapshot(self) -> list[dict[str, float]]:
+        """Per-device ledger dicts, for before/after deltas."""
+        return [d.sim.ledger.as_dict() for d in self.devices]
+
+    def ledgers(self) -> dict[str, dict[str, float]]:
+        """Per-device ledgers keyed by device name."""
+        return {d.name: d.sim.ledger.as_dict() for d in self.devices}
+
+
+#: The benchmark/CLI default: one Nano, two mid-range NXes, one big Orin.
+#: Deliberately not sorted by speed -- device enumeration order carries no
+#: meaning, which is exactly what naive round-robin placement gets wrong.
+DEFAULT_EDGE_CLUSTER = ("nano", "xavier-nx", "xavier-nx", "agx-orin")
+
+
+def ledger_delta(
+    after: list[dict[str, float]], before: list[dict[str, float]]
+) -> list[dict[str, float]]:
+    """Per-device ledger difference (what one run charged to a cluster)."""
+    if len(after) != len(before):
+        raise ConfigError("snapshot length mismatch")
+    return [
+        {key: a[key] - b.get(key, 0.0) for key in a}
+        for a, b in zip(after, before)
+    ]
+
+
+def merge_ledger_deltas(deltas: list[dict[str, float]]) -> TimeLedger:
+    """Collapse per-device ledger deltas into one :class:`TimeLedger`."""
+    total = TimeLedger()
+    for delta in deltas:
+        for f in fields(TimeLedger):
+            setattr(total, f.name, getattr(total, f.name) + delta.get(f.name, 0.0))
+    return total

@@ -1,0 +1,74 @@
+"""Structured results of a parallel (multi-device) training run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import NeuroFluxReport
+
+
+@dataclass
+class ParallelReport:
+    """Everything a :meth:`NeuroFlux.train_parallel` run produced.
+
+    ``report`` carries the familiar single-run outputs (partition, exit
+    selection, accuracies, merged ledger); the remaining fields describe
+    the cluster execution: where blocks ran, how long the run took end to
+    end, how busy each device was and what crossing links cost.
+
+    ``predicted_makespan_s`` is always the *pipelined* timing model's
+    prediction for the chosen placement -- the quantity the placement
+    optimizer minimizes -- so under ``schedule="sequential"`` it reads as
+    "what this placement would achieve if pipelined", not as a forecast
+    of the sequential makespan.
+    """
+
+    schedule: str
+    placement: list[int]
+    device_names: list[str]
+    report: NeuroFluxReport
+    makespan_s: float
+    predicted_makespan_s: float
+    device_ledgers: list[dict[str, float]] = field(default_factory=list)
+    utilization: list[float] = field(default_factory=list)
+    bubble_fraction: float = float("nan")
+    comm_bytes: int = 0
+    microbatch: int = 0
+    n_microbatches: int = 0
+
+    @property
+    def device_times_s(self) -> list[float]:
+        """Total simulated seconds each device charged during the run."""
+        return [ledger.get("total", 0.0) for ledger in self.device_ledgers]
+
+    def summary(self) -> str:
+        """Human-readable one-screen summary."""
+        predicted = (
+            f"(predicted {self.predicted_makespan_s:.1f}s)"
+            if self.schedule == "pipelined"
+            else f"(pipelined would predict {self.predicted_makespan_s:.1f}s)"
+        )
+        stream = (
+            f"microbatch={self.microbatch} stream={self.n_microbatches} batches"
+            if self.n_microbatches
+            else "adaptive per-block batches"
+        )
+        lines = [
+            f"Parallel NeuroFlux run: schedule={self.schedule} {stream}",
+            f"  makespan: {self.makespan_s:.1f}s {predicted}  "
+            f"bubble: {100 * self.bubble_fraction:.1f}%  "
+            f"comm: {self.comm_bytes / 2**20:.1f} MiB",
+        ]
+        for d, name in enumerate(self.device_names):
+            blocks = [k for k, dev in enumerate(self.placement) if dev == d]
+            util = self.utilization[d] if d < len(self.utilization) else 0.0
+            busy = self.device_times_s[d] if d < len(self.device_ledgers) else 0.0
+            lines.append(
+                f"  {name}: blocks={blocks or '-'} "
+                f"busy={busy:.1f}s util={100 * util:.1f}%"
+            )
+        lines.append(
+            f"  exit layer: {self.report.exit_layer + 1} "
+            f"(test acc {self.report.exit_test_accuracy:.3f})"
+        )
+        return "\n".join(lines)

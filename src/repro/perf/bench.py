@@ -57,12 +57,12 @@ def _entry(seed_ms: float, fast_ms: float, **extra) -> dict:
 # -- micro: individual kernels ---------------------------------------------
 
 
-def bench_im2col(batch: int, reps: int) -> dict:
+def bench_im2col(batch: int, reps: int, seed: int = 0) -> dict:
     """NCHW transpose-gather vs NHWC contiguous-run gather."""
     from repro.nn.functional import im2col, im2col_nhwc, pad2d_nhwc
     from repro.perf.workspace import Workspace
 
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(seed)
     n, c, h, w, k, s, p = batch, 32, 16, 16, 3, 1, 1
     x = rng.standard_normal((n, c, h, w)).astype(np.float32)
     ws = Workspace()
@@ -82,11 +82,11 @@ def bench_im2col(batch: int, reps: int) -> dict:
     )
 
 
-def bench_col2im(batch: int, reps: int) -> dict:
+def bench_col2im(batch: int, reps: int, seed: int = 0) -> dict:
     """Seed NCHW scatter loop vs NHWC bulk-slice scatter (stride 1, k=3)."""
     from repro.nn.functional import col2im, col2im_nhwc
 
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(seed)
     n, c, h, w, k, s, p = batch, 32, 16, 16, 3, 1, 1
     oh = ow = h
     dcols = rng.standard_normal((n * oh * ow, c * k * k)).astype(np.float32)
@@ -103,11 +103,11 @@ def bench_col2im(batch: int, reps: int) -> dict:
     )
 
 
-def bench_col2im_overlap(batch: int, reps: int) -> dict:
+def bench_col2im_overlap(batch: int, reps: int, seed: int = 0) -> dict:
     """Large-kernel stride-1 scatter: Python loop vs overlap-add fast path."""
     from repro.nn.functional import col2im_nhwc
 
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(seed)
     n, c, k = batch, 16, 5
     oh = ow = 12
     hp = oh + k - 1
@@ -121,16 +121,16 @@ def bench_col2im_overlap(batch: int, reps: int) -> dict:
     )
 
 
-def bench_conv_step(batch: int, reps: int) -> dict:
+def bench_conv_step(batch: int, reps: int, seed: int = 0) -> dict:
     """One conv forward+backward: unfused fresh-alloc vs fused+workspace."""
     from repro.nn import Conv2d
 
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(seed)
     n, cin, hw, cout = batch, 32, 16, 64
     x = rng.standard_normal((n, cin, hw, hw)).astype(np.float32)
-    seed_conv = Conv2d(cin, cout, 3, padding=1, rng=np.random.default_rng(1))
+    seed_conv = Conv2d(cin, cout, 3, padding=1, rng=np.random.default_rng(seed + 1))
     fast_conv = Conv2d(
-        cin, cout, 3, padding=1, rng=np.random.default_rng(1),
+        cin, cout, 3, padding=1, rng=np.random.default_rng(seed + 1),
         fused=True, activation="relu",
     ).attach_workspace()
     g = rng.standard_normal((n, cout, hw, hw)).astype(np.float32)
@@ -149,13 +149,13 @@ def bench_conv_step(batch: int, reps: int) -> dict:
     )
 
 
-def bench_maxpool_step(batch: int, reps: int) -> dict:
+def bench_maxpool_step(batch: int, reps: int, seed: int = 0) -> dict:
     """2x2 max pool fwd+bwd: generic window path vs exact-tiling path."""
     from repro.nn import MaxPool2d
     from repro.nn.functional import sliding_windows
     from repro.nn.pooling import _scatter_windows
 
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(seed)
     n, c, hw = batch, 64, 16
     x = rng.standard_normal((n, c, hw, hw)).astype(np.float32)
     pool = MaxPool2d(2)
@@ -184,8 +184,8 @@ def bench_maxpool_step(batch: int, reps: int) -> dict:
 # -- macro: full training steps --------------------------------------------
 
 
-def _make_batch(batch: int, input_hw: tuple[int, int], num_classes: int):
-    rng = np.random.default_rng(0)
+def _make_batch(batch: int, input_hw: tuple[int, int], num_classes: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
     x = (0.1 * rng.standard_normal((batch, 3, *input_hw))).astype(np.float32)
     y = rng.integers(0, num_classes, batch)
     return x, y
@@ -197,7 +197,7 @@ def _make_batch(batch: int, input_hw: tuple[int, int], num_classes: int):
 MACRO_WIDTH = 0.125
 
 
-def _build(model_name: str, input_hw: tuple[int, int], fused: bool, width: float):
+def _build(model_name: str, input_hw: tuple[int, int], fused: bool, width: float, seed: int = 0):
     from repro.models.zoo import build_model
 
     # Only VGG exposes batch_norm; BN-less VGG is the configuration where
@@ -209,23 +209,28 @@ def _build(model_name: str, input_hw: tuple[int, int], fused: bool, width: float
         num_classes=10,
         input_hw=input_hw,
         width_multiplier=width,
-        seed=0,
+        seed=seed,
         fused=fused,
         **kwargs,
     )
 
 
 def bench_bp_step(
-    model_name: str, batch: int, reps: int, quick: bool, width: float = MACRO_WIDTH
+    model_name: str,
+    batch: int,
+    reps: int,
+    quick: bool,
+    width: float = MACRO_WIDTH,
+    seed: int = 0,
 ) -> dict:
     """Full backprop training step (forward, loss, backward, SGD update)."""
     from repro.nn import CrossEntropyLoss, make_optimizer
 
     input_hw = (16, 16) if quick else (32, 32)
-    x, y = _make_batch(batch, input_hw, 10)
+    x, y = _make_batch(batch, input_hw, 10, seed)
     results = {}
     for mode, fused in (("seed", False), ("fast", True)):
-        model = _build(model_name, input_hw, fused, width)
+        model = _build(model_name, input_hw, fused, width, seed)
         if fused:
             model.attach_workspace()
         loss_fn = CrossEntropyLoss()
@@ -248,7 +253,12 @@ def bench_bp_step(
 
 
 def bench_ll_step(
-    model_name: str, batch: int, reps: int, quick: bool, width: float = MACRO_WIDTH
+    model_name: str,
+    batch: int,
+    reps: int,
+    quick: bool,
+    width: float = MACRO_WIDTH,
+    seed: int = 0,
 ) -> dict:
     """Full local-learning step: every stage trains against its aux head."""
     from repro.core.auxiliary import build_aux_heads
@@ -256,12 +266,12 @@ def bench_ll_step(
     from repro.nn.module import run_backward
 
     input_hw = (16, 16) if quick else (32, 32)
-    x, y = _make_batch(batch, input_hw, 10)
+    x, y = _make_batch(batch, input_hw, 10, seed)
     results = {}
     for mode, fused in (("seed", False), ("fast", True)):
-        model = _build(model_name, input_hw, fused, width)
+        model = _build(model_name, input_hw, fused, width, seed)
         aux_heads = build_aux_heads(
-            model, rule="classic", classic_filters=32, seed=0, fused=fused
+            model, rule="classic", classic_filters=32, seed=seed, fused=fused
         )
         if fused:
             pool = model.attach_workspace().workspace.pool
@@ -309,6 +319,7 @@ def run_suite(
     batch: int | None = None,
     reps: int | None = None,
     model: str = _DEFAULT_MODEL,
+    seed: int = 0,
 ) -> dict:
     """Run the requested benchmark suite and return the report dict."""
     from repro.models.zoo import list_models
@@ -334,6 +345,7 @@ def run_suite(
             "batch": batch,
             "reps": reps,
             "model": model,
+            "seed": seed,
         },
         "env": {
             "python": _platform.python_version(),
@@ -345,23 +357,23 @@ def run_suite(
     # fragmented arenas) that measurably skews subsequent macro timings.
     if suite in ("macro", "all"):
         report["macro"] = {
-            "bp_step": bench_bp_step(model, batch, reps, quick),
-            "ll_step": bench_ll_step(model, batch, reps, quick),
+            "bp_step": bench_bp_step(model, batch, reps, quick, seed=seed),
+            "ll_step": bench_ll_step(model, batch, reps, quick, seed=seed),
         }
         if not quick:
             # A wider build tracks how the gains scale as the GEMMs (which
             # both paths share) take a larger share of the step.
             report["macro"]["bp_step_wide"] = bench_bp_step(
-                model, batch, reps, quick, width=2 * MACRO_WIDTH
+                model, batch, reps, quick, width=2 * MACRO_WIDTH, seed=seed
             )
     if suite in ("micro", "all"):
         micro_batch = max(1, batch // 4) if quick else batch
         report["micro"] = {
-            "im2col": bench_im2col(micro_batch, reps),
-            "col2im": bench_col2im(micro_batch, reps),
-            "col2im_overlap_k5": bench_col2im_overlap(micro_batch, reps),
-            "conv_step": bench_conv_step(micro_batch, reps),
-            "maxpool_step": bench_maxpool_step(micro_batch, reps),
+            "im2col": bench_im2col(micro_batch, reps, seed),
+            "col2im": bench_col2im(micro_batch, reps, seed),
+            "col2im_overlap_k5": bench_col2im_overlap(micro_batch, reps, seed),
+            "conv_step": bench_conv_step(micro_batch, reps, seed),
+            "maxpool_step": bench_maxpool_step(micro_batch, reps, seed),
         }
     return report
 
@@ -412,6 +424,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--reps", type=int, default=None, help="timing repetitions")
     parser.add_argument("--model", default=_DEFAULT_MODEL, help="macro model name")
     parser.add_argument(
+        "--seed", type=int, default=0, help="seed for synthetic data and weights"
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -425,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
             batch=args.batch,
             reps=args.reps,
             model=args.model,
+            seed=args.seed,
         )
     except ConfigError as exc:
         print(f"bench: {exc}", file=sys.stderr)

@@ -25,6 +25,7 @@ class TestMain:
         for key in EXPERIMENTS:
             assert key in out
         assert "bench" in out
+        assert "parallel" in out
 
     def test_unknown_experiment(self, capsys):
         assert main(["fig99"]) == 2
@@ -92,6 +93,47 @@ class TestServe:
         assert "--threshold" in capsys.readouterr().err
 
 
+class TestParallel:
+    def test_parallel_parser_defaults(self):
+        from repro.cli import build_parallel_parser
+
+        args = build_parallel_parser().parse_args([])
+        assert args.devices is None
+        assert args.schedule == "pipelined"
+        assert args.placement == "optimized"
+        assert args.seed == 0
+
+    def test_parallel_end_to_end(self, capsys):
+        """The acceptance-criteria command, scaled down for test runtime."""
+        assert (
+            main(
+                [
+                    "parallel",
+                    "--schedule",
+                    "pipelined",
+                    "--epochs",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for needle in ("schedule=pipelined", "makespan", "bubble", "util", "exit layer"):
+            assert needle in out
+
+    def test_parallel_bad_inputs_fail_fast(self, capsys):
+        """Invalid devices/epochs must error out before any training."""
+        assert main(["parallel", "--devices", "tpu-v9"]) == 2
+        assert "unknown platform" in capsys.readouterr().err
+        assert main(["parallel", "--epochs", "0"]) == 2
+        assert "--epochs" in capsys.readouterr().err
+
+    def test_parallel_infeasible_budget_exits_cleanly(self, capsys):
+        """A budget no layer fits exits 2 with a message, not a traceback."""
+        assert main(["parallel", "--budget-mb", "0.01"]) == 2
+        assert "cannot fit" in capsys.readouterr().err
+
+
 class TestBench:
     def test_bench_quick_runs_and_writes_json(self, capsys, tmp_path):
         """The CI smoke command: quick suite, report table + JSON."""
@@ -113,6 +155,22 @@ class TestBench:
         monkeypatch.chdir(tmp_path)
         assert main(["bench", "--quick", "--suite", "micro"]) == 0
         assert not (tmp_path / "BENCH_kernels.json").exists()
+
+    def test_bench_seed_is_plumbed(self, capsys, tmp_path):
+        """--seed reaches the synthetic data/model builders and the report."""
+        import json
+
+        path = tmp_path / "bench.json"
+        assert (
+            main(
+                ["bench", "--quick", "--suite", "macro", "--seed", "5",
+                 "--json", str(path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        report = json.loads(path.read_text())
+        assert report["config"]["seed"] == 5
 
     def test_bench_bad_inputs_fail_fast(self, capsys):
         """Invalid suite/model/batch must error out before any timing."""

@@ -134,3 +134,47 @@ class TestPartitionProperties:
             assert 1 <= block.batch_size <= limit
             for i in block.layer_indices:
                 assert models[i].predict(block.batch_size) <= budget
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        slopes=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=24),
+        budget=st.integers(10_000_000, 100_000_000),
+        limit=st.integers(1, 512),
+        rho=st.floats(0.0, 1.0),
+    )
+    def test_blocks_exactly_partition_layers_in_order(
+        self, slopes, budget, limit, rho
+    ):
+        """Concatenated block members are exactly ``0..n-1``, each block is
+        a contiguous run, and block indices count up from zero."""
+        blocks = partition(_models(slopes, intercept=100.0), budget, limit, rho=rho)
+        covered = [i for b in blocks for i in b.layer_indices]
+        assert covered == list(range(len(slopes)))
+        for position, block in enumerate(blocks):
+            assert block.index == position
+            assert block.layer_indices == list(
+                range(block.first_layer, block.last_layer + 1)
+            )
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        batches=st.lists(
+            st.integers(1, 10_000), min_size=1, max_size=24, unique=True
+        ),
+        budget=st.integers(10_000_000, 100_000_000),
+    )
+    def test_rho_zero_yields_singletons_for_distinct_batches(
+        self, batches, budget
+    ):
+        """With rho=0 only *identical* neighboring feasible batches group;
+        all-distinct feasible batches therefore yield singleton blocks."""
+        # Choose slopes so each layer's feasible batch is exactly the
+        # requested (distinct) value: slope = budget_head / batch.
+        intercept = 100.0
+        slopes = [(budget - intercept) / (b + 0.5) for b in batches]
+        models = _models(slopes, intercept=intercept)
+        feasible = feasible_batches(models, budget, 100_000)
+        assert feasible == batches  # setup sanity: distinct by construction
+        blocks = partition(models, budget, 100_000, rho=0.0)
+        assert [len(b) for b in blocks] == [1] * len(batches)
+        validate_partition(blocks, len(batches))

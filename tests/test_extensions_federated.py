@@ -63,7 +63,7 @@ class TestSharding:
 
 class TestFederatedNeuroFlux:
     @pytest.fixture(scope="class")
-    def fed_result(self):
+    def fed(self):
         spec = dataset_spec(
             "cifar10", num_classes=4, image_hw=(16, 16), noise_std=0.4, seed=11
         )
@@ -77,13 +77,16 @@ class TestFederatedNeuroFlux:
             clients.append(
                 FederatedClient(client_id=i, data=shard, memory_budget=12 * MB)
             )
-        fed = FederatedNeuroFlux(
+        return FederatedNeuroFlux(
             model_name="vgg11",
             clients=clients,
             eval_data=global_data,
             model_kwargs=dict(num_classes=4, input_hw=(16, 16), width_multiplier=0.125),
             config=NeuroFluxConfig(batch_limit=32, seed=0),
         )
+
+    @pytest.fixture(scope="class")
+    def fed_result(self, fed):
         return fed.run(rounds=2, local_epochs=2)
 
     def test_rounds_recorded(self, fed_result):
@@ -105,6 +108,28 @@ class TestFederatedNeuroFlux:
         assert fed_result.total_sim_time_s == pytest.approx(
             sum(r.sim_time_s for r in fed_result.rounds)
         )
+
+    def test_round_time_is_slowest_device_ledger_delta(self, fed_result):
+        """Straggler accounting comes from the per-device cluster ledgers:
+        the round latency is the slowest client's compute + communication."""
+        for r in fed_result.rounds:
+            assert len(r.client_times_s) == 2
+            assert r.sim_time_s == pytest.approx(max(r.client_times_s))
+            assert r.communication_time_s > 0
+
+    def test_cluster_ledgers_carry_client_time(self, fed, fed_result):
+        """After the run, each device ledger holds that client's total
+        across rounds, including the WAN model transfers."""
+        for device in fed.cluster:
+            assert device.sim.ledger.communication > 0
+            assert device.sim.ledger.compute > 0
+        per_device_totals = [d.elapsed for d in fed.cluster]
+        round_sums = [0.0, 0.0]
+        for r in fed_result.rounds:
+            for i, t in enumerate(r.client_times_s):
+                round_sums[i] += t
+        for total, expected in zip(per_device_totals, round_sums):
+            assert total == pytest.approx(expected)
 
     def test_requires_clients(self, tiny_dataset):
         with pytest.raises(ConfigError):

@@ -6,10 +6,14 @@ from repro.errors import ConfigError
 from repro.hw import (
     AGX_ORIN,
     ALL_PLATFORMS,
+    GIGABIT_ETHERNET,
     JETSON_NANO,
     RASPBERRY_PI_4B,
+    WAN_100MBIT,
+    WIFI_AC,
     XAVIER_NX,
     ExecutionSimulator,
+    Link,
     TimeLedger,
     get_platform,
 )
@@ -118,12 +122,15 @@ class TestTimeLedger:
         assert d["total"] == 1.0
 
     def test_as_dict_keys_track_fields(self):
-        """Regression: adding a cost category (e.g. ``serving``) must show
-        up in ``as_dict``, ``merge`` and ``total`` automatically."""
+        """Regression: adding a cost category (e.g. ``serving`` in PR 1,
+        ``communication`` in PR 3) must show up in ``as_dict``, ``merge``
+        and ``total`` automatically -- report/metrics code reads the field
+        list, so a category that bypassed it would silently vanish."""
         from dataclasses import fields
 
         field_names = [f.name for f in fields(TimeLedger)]
         assert "serving" in field_names
+        assert "communication" in field_names
         d = TimeLedger().as_dict()
         assert set(d) == {*field_names, "total"}
 
@@ -145,3 +152,35 @@ class TestTimeLedger:
         assert sim.ledger.serving == pytest.approx(t)
         assert sim.ledger.compute == 0.0
         assert sim.ledger.total == pytest.approx(t)
+
+    def test_communication_charged_to_communication(self):
+        sim = ExecutionSimulator(AGX_ORIN)
+        t = sim.add_communication(GIGABIT_ETHERNET.bandwidth, GIGABIT_ETHERNET)
+        assert t == pytest.approx(1.0 + GIGABIT_ETHERNET.latency)
+        assert sim.ledger.communication == pytest.approx(t)
+        assert sim.ledger.compute == 0.0
+        assert sim.ledger.total == pytest.approx(t)
+
+
+class TestLink:
+    def test_transfer_time(self):
+        link = Link(bandwidth=100.0, latency=0.5)
+        assert link.transfer_time(0) == pytest.approx(0.5)
+        assert link.transfer_time(200) == pytest.approx(2.5)
+
+    def test_named_links_ordering(self):
+        # A LAN moves bytes faster and with less latency than wifi or WAN.
+        nbytes = 10 * 2**20
+        assert (
+            GIGABIT_ETHERNET.transfer_time(nbytes)
+            < WIFI_AC.transfer_time(nbytes)
+            < WAN_100MBIT.transfer_time(nbytes)
+        )
+
+    def test_invalid_links_raise(self):
+        with pytest.raises(ConfigError):
+            Link(bandwidth=0, latency=0.1)
+        with pytest.raises(ConfigError):
+            Link(bandwidth=1e6, latency=-1.0)
+        with pytest.raises(ConfigError):
+            GIGABIT_ETHERNET.transfer_time(-1)
