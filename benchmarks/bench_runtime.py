@@ -1,0 +1,13 @@
+#!/usr/bin/env python
+"""Adaptive-runtime benchmark: static vs adaptive placement under churn.
+
+Thin wrapper around :mod:`repro.runtime.bench`; writes the committed
+``BENCH_runtime.json`` trajectory (``--quick`` for the CI smoke run).
+"""
+
+import sys
+
+from repro.runtime.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -9,13 +9,16 @@ Usage::
     python -m repro.cli all          # everything (slow)
     python -m repro.cli serve --platform agx_orin --arrival-rate 200
     python -m repro.cli parallel --schedule pipelined --epochs 3
+    python -m repro.cli parallel --events faults.json --report-json run.json
     python -m repro.cli bench --quick
 
 Each command prints the reproduced figure/table as a plain-text table.
 ``serve`` trains a small NeuroFlux system and runs the early-exit
 inference serving simulator against it (see :mod:`repro.serving`).
 ``parallel`` trains one pipeline-parallel across a simulated device
-cluster with an optimized block placement (see :mod:`repro.parallel`).
+cluster with an optimized block placement (see :mod:`repro.parallel`);
+``--events`` injects a fault/load schedule under the adaptive runtime
+(see :mod:`repro.runtime`) and ``--report-json`` dumps the run report.
 ``bench`` times the kernel substrate, seed path vs fused+workspace path
 (see :mod:`repro.perf.bench`), and records the trajectory in
 ``BENCH_kernels.json``.
@@ -258,15 +261,39 @@ def build_parallel_parser() -> argparse.ArgumentParser:
         default=0,
         help="root seed (training, synthetic data and weights)",
     )
+    parser.add_argument(
+        "--runtime",
+        action="store_true",
+        help=(
+            "attach the adaptive cluster runtime (drift monitoring, "
+            "online re-placement, live migration); implied by --events"
+        ),
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE.json",
+        help=(
+            "fault/load schedule to inject (JSON: {\"events\": [{\"type\": "
+            "\"slowdown\"|\"spike\"|\"failure\"|\"join\", \"time_s\": ..., "
+            "...}]}); implies --runtime"
+        ),
+    )
+    parser.add_argument(
+        "--report-json",
+        default=None,
+        metavar="PATH",
+        help="write the full run report (placement, ledgers, runtime events/migrations) to PATH",
+    )
     return parser
 
 
 def _parallel_main(argv: list[str]) -> int:
-    from repro.errors import ConfigError, PartitionError, PlacementError
+    from repro.errors import ConfigError, FaultError, PartitionError, PlacementError
 
     try:
         return _parallel_run(argv)
-    except (ConfigError, PartitionError, PlacementError) as exc:
+    except (ConfigError, FaultError, PartitionError, PlacementError) as exc:
         print(f"parallel: {exc}", file=sys.stderr)
         return 2
 
@@ -285,6 +312,12 @@ def _parallel_run(argv: list[str]) -> int:
     cluster = Cluster.from_names(names)
     if args.epochs < 1:
         raise ConfigError("--epochs must be >= 1")
+    runtime = None
+    if args.events or args.runtime:
+        from repro.runtime import AdaptiveRuntime, EventSchedule
+
+        events = EventSchedule.load(args.events) if args.events else None
+        runtime = AdaptiveRuntime(events=events)
     budget = int(args.budget_mb * 2**20)
     data = dataset_spec(
         "cifar10",
@@ -321,8 +354,16 @@ def _parallel_run(argv: list[str]) -> int:
         placement=placement,
         microbatch=args.microbatch,
         queue_capacity=args.queue_capacity,
+        runtime=runtime,
     )
     print(report.summary())
+    if args.report_json:
+        import json
+
+        with open(args.report_json, "w") as fh:
+            json.dump(report.to_json_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.report_json}", file=sys.stderr)
     return 0
 
 

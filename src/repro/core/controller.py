@@ -54,12 +54,20 @@ class _SingleDeviceContext:
         self.sim = ExecutionSimulator(platform)
         self.gpu = SimulatedGpu(budget_bytes=memory_budget)
         self.comm_bytes = 0
+        self.runtime = None
+        self._handles: dict[int, object] = {}
 
     def sim_for_block(self, block_index: int) -> ExecutionSimulator:
         return self.sim
 
     def gpu_for_block(self, block_index: int) -> SimulatedGpu:
         return self.gpu
+
+    def alloc_block(self, block_index: int, nbytes: int) -> None:
+        self._handles[block_index] = self.gpu.alloc(nbytes, f"block{block_index}")
+
+    def free_block(self, block_index: int) -> None:
+        self.gpu.free(self._handles.pop(block_index))
 
     @property
     def profiling_sim(self) -> ExecutionSimulator:
@@ -91,7 +99,7 @@ class _ClusterSequentialContext:
     is the sum of all device ledgers (devices never overlap here).
     """
 
-    def __init__(self, cluster, placement: list[int]):
+    def __init__(self, cluster, placement: list[int], runtime=None):
         self.cluster = cluster
         self.placement = list(placement)
         self.gpus = [
@@ -100,12 +108,42 @@ class _ClusterSequentialContext:
         self._base_elapsed = cluster.total_elapsed
         self._base_ledgers = cluster.ledger_snapshot()
         self.comm_bytes = 0
+        #: Optional adaptive runtime: may rewrite ``placement`` (failures,
+        #: drift) between batches, so devices are always resolved through
+        #: :meth:`sim_for_block` at use time, never cached across batches.
+        self.runtime = runtime
+        self._handles: dict[int, tuple[SimulatedGpu, object, int]] = {}
+        #: Devices that ever hosted a block's work.  The runtime may
+        #: rewrite the placement mid-run (failure, drift), so utilization
+        #: accounting cannot sample the final placement: a device that
+        #: trained early blocks and then died still shaped the makespan.
+        self.ever_hosted: set[int] = set()
 
     def sim_for_block(self, block_index: int) -> ExecutionSimulator:
+        self.ever_hosted.add(self.placement[block_index])
         return self.cluster[self.placement[block_index]].sim
 
     def gpu_for_block(self, block_index: int) -> SimulatedGpu:
         return self.gpus[self.placement[block_index]]
+
+    def alloc_block(self, block_index: int, nbytes: int) -> None:
+        gpu = self.gpus[self.placement[block_index]]
+        self._handles[block_index] = (
+            gpu, gpu.alloc(nbytes, f"block{block_index}"), nbytes
+        )
+
+    def free_block(self, block_index: int) -> None:
+        gpu, handle, _ = self._handles.pop(block_index)
+        gpu.free(handle)
+
+    def move_block(self, block_index: int, dst: int) -> None:
+        """Re-home a live block's residency (the runtime migrated it)."""
+        gpu, handle, nbytes = self._handles[block_index]
+        gpu.free(handle)
+        new_gpu = self.gpus[dst]
+        self._handles[block_index] = (
+            new_gpu, new_gpu.alloc(nbytes, f"block{block_index}"), nbytes
+        )
 
     @property
     def profiling_sim(self) -> ExecutionSimulator:
@@ -196,10 +234,14 @@ class NeuroFlux:
         self,
         block: Block,
         store: ActivationStore,
-        sim: ExecutionSimulator,
+        ctx,
         epoch_rng: np.random.Generator,
     ):
-        """Iterator over this block's training inputs at its batch size."""
+        """Iterator over this block's training inputs at its batch size.
+
+        Charges are resolved through ``ctx.sim_for_block`` at read time,
+        so a block migrated mid-pass charges its new device, not a ghost.
+        """
         if block.index == 0:
             loader = DataLoader(
                 self.data.x_train,
@@ -212,7 +254,9 @@ class NeuroFlux:
         elif self.config.use_cache:
             def charged():
                 for x, y in store.batches(block.index - 1):
-                    sim.add_cache_read(x.nbytes + y.nbytes, n_files=1)
+                    ctx.sim_for_block(block.index).add_cache_read(
+                        x.nbytes + y.nbytes, n_files=1
+                    )
                     yield x, y
 
             yield from rebatch(charged(), block.batch_size)
@@ -240,7 +284,7 @@ class NeuroFlux:
                 for s in prior_specs:
                     s.module.eval()
                     x = s.module.forward(x)
-                sim.add_inference_batch(
+                ctx.sim_for_block(block.index).add_inference_batch(
                     prior_flops * len(x), self.data.spec.sample_bytes * len(x), len(prior_specs)
                 )
                 yield x, y
@@ -354,10 +398,10 @@ class NeuroFlux:
         val_y_sub = self.data.y_val[:n_eval]
         best_acc_so_far = 0.0
 
+        runtime = ctx.runtime
         try:
             for block in blocks:
                 sim = ctx.sim_for_block(block.index)
-                gpu = ctx.gpu_for_block(block.index)
                 # §3.1: load the block into GPU memory, others to storage.
                 block_specs = [self.specs[i] for i in block.layer_indices]
                 block_aux = [self.aux_heads[i] for i in block.layer_indices]
@@ -366,29 +410,44 @@ class NeuroFlux:
                 ) + sum(a.parameter_bytes() for a in block_aux)
                 sim.ledger.overhead += sim.storage_time(block_param_bytes, n_ops=1)
                 residency = self._block_residency_bytes(block)
-                handle = gpu.alloc(residency, f"block{block.index}")
+                ctx.alloc_block(block.index, residency)
                 worker = self._build_worker(block, sim)
+                if cfg.use_cache and block.index > 0:
+                    input_mode = "prefetch-cache"
+                else:
+                    input_mode = "prefetch-raw"
+                if runtime is not None:
+                    runtime.sequential_block_start(block, worker, input_mode)
 
                 block_t0 = ctx.elapsed
                 mean_loss = float("nan")
                 stop = False
                 for epoch in range(epochs):
                     epoch_rng = spawn_rng(cfg.seed, f"nf/block{block.index}/epoch{epoch}")
-                    batches = self._block_input_batches(block, store, sim, epoch_rng)
-                    if cfg.use_cache and block.index > 0:
-                        input_mode = "prefetch-cache"
-                    else:
-                        input_mode = "prefetch-raw"
+                    batches = self._block_input_batches(block, store, ctx, epoch_rng)
                     # The worker budget-checks against its own device clock;
                     # discount whatever the other devices already spent.
+                    # With a runtime attached the block may migrate to a
+                    # different clock mid-pass, invalidating that deadline,
+                    # so the budget falls back to the end-of-epoch check
+                    # against the global clock below.
                     pass_budget = None
-                    if time_budget_s is not None:
+                    if time_budget_s is not None and runtime is None:
                         pass_budget = time_budget_s - (ctx.elapsed - sim.elapsed)
                     _, n_samples, mean_loss = worker.train_pass(
                         batches,
                         time_budget_s=pass_budget,
                         input_mode=input_mode,
+                        on_batch=(
+                            runtime.sequential_on_batch
+                            if runtime is not None
+                            else None
+                        ),
                     )
+                    # The runtime may have migrated the block mid-pass
+                    # (device failure): charge all follow-up work on the
+                    # device that actually hosts it now.
+                    sim = ctx.sim_for_block(block.index)
                     # History: best exit accuracy among the layers trained
                     # so far, evaluated on a capped validation subset.
                     feats = val_feats_sub
@@ -411,6 +470,9 @@ class NeuroFlux:
                         stop = True
                         break
 
+                if runtime is not None:
+                    runtime.sequential_block_end(block)
+
                 # §3.3: cache the trained block's outputs for the next block.
                 is_last = block.index == len(blocks) - 1
                 cache_bytes_before = store.bytes_written
@@ -422,7 +484,7 @@ class NeuroFlux:
 
                     epoch_rng = spawn_rng(cfg.seed, f"nf/block{block.index}/cachepass")
                     worker.forward_pass(
-                        self._block_input_batches(block, store, sim, epoch_rng),
+                        self._block_input_batches(block, store, ctx, epoch_rng),
                         save,
                     )
                 if block.index > 0 and cfg.use_cache:
@@ -434,7 +496,7 @@ class NeuroFlux:
                     spec.module.eval()
                     val_feats_sub = spec.module.forward(val_feats_sub)
                     spec.module.train()
-                gpu.free(handle)
+                ctx.free_block(block.index)
 
                 report.block_reports.append(
                     BlockReport(
@@ -501,6 +563,7 @@ class NeuroFlux:
         microbatch: int | None = None,
         queue_capacity: int = 2,
         time_budget_s: float | None = None,
+        runtime=None,
     ):
         """Train this system across a simulated device cluster.
 
@@ -521,7 +584,16 @@ class NeuroFlux:
         fitting device; the literal string ``"round-robin"`` selects the
         naive baseline.
         ``microbatch`` defaults to the smallest block batch size (feasible
-        for every block by construction).  Returns a
+        for every block by construction).
+
+        ``runtime`` attaches a :class:`repro.runtime.AdaptiveRuntime`: a
+        deterministic fault/load schedule is injected into the device
+        ledgers while a drift monitor refines the cost model online, and
+        (when adaptation is on) blocks migrate live when a device drifts
+        or dies.  With an empty schedule the trained weights are
+        bit-identical to the same call without a runtime -- the control
+        loop changes accounting, never math.  One runtime instance
+        drives one run.  Returns a
         :class:`repro.parallel.report.ParallelReport`.
         """
         from repro.errors import PlacementError
@@ -603,18 +675,26 @@ class NeuroFlux:
         base_ledgers = cluster.ledger_snapshot()
 
         if schedule == "sequential":
-            ctx = _ClusterSequentialContext(cluster, placement)
+            ctx = _ClusterSequentialContext(cluster, placement, runtime=runtime)
+            if runtime is not None:
+                runtime.bind_sequential(
+                    cluster, problem, blocks, ctx, self._block_residency_bytes
+                )
             report = self._execute(
                 epochs, time_budget_s, ctx, plan=(blocks, profiling_flops)
             )
             report.result.extras["schedule"] = schedule
+            placement = list(ctx.placement)  # the runtime may have re-placed
             makespan = ctx.elapsed
+            # Devices that joined mid-run have no baseline snapshot: they
+            # start from an all-zero ledger.
+            base_ledgers += [{}] * (len(cluster) - len(base_ledgers))
             ledgers = ledger_delta(cluster.ledger_snapshot(), base_ledgers)
             busy = [ledger["total"] for ledger in ledgers]
             utilization = [
                 b / makespan if makespan > 0 else 0.0 for b in busy
             ]
-            active = [d in set(placement) for d in range(len(cluster))]
+            active = [d in ctx.ever_hosted for d in range(len(cluster))]
             used = [u for u, a in zip(utilization, active) if a]
             bubble = 1.0 - sum(used) / len(used) if used else float("nan")
             comm_bytes = ctx.comm_bytes
@@ -622,12 +702,13 @@ class NeuroFlux:
             # adaptive batch sizes through the loader/cache path.
             n_micro = 0
         else:
-            report, stats = self._run_pipelined(
+            report, stats, placement = self._run_pipelined(
                 cluster, blocks, placement, problem, epochs,
-                queue_capacity, time_budget_s, profiling_flops,
+                queue_capacity, time_budget_s, profiling_flops, runtime,
             )
             report.result.extras["schedule"] = schedule
             makespan = stats.makespan_s
+            base_ledgers += [{}] * (len(cluster) - len(base_ledgers))
             ledgers = ledger_delta(cluster.ledger_snapshot(), base_ledgers)
             report.result.ledger = merge_ledger_deltas(ledgers)
             utilization = stats.utilization
@@ -650,6 +731,7 @@ class NeuroFlux:
             comm_bytes=comm_bytes,
             microbatch=microbatch,
             n_microbatches=n_micro,
+            runtime=runtime.report() if runtime is not None else None,
         )
 
     def _sequential_placement(self, cluster, blocks, problem) -> list[int]:
@@ -696,6 +778,7 @@ class NeuroFlux:
         queue_capacity: int,
         time_budget_s: float | None,
         profiling_flops: float,
+        runtime=None,
     ):
         """Pipelined schedule: all blocks resident and training at once."""
         from repro.parallel.pipeline import PipelineExecutor
@@ -720,6 +803,8 @@ class NeuroFlux:
             workers.append(
                 self._build_worker(block, cluster[placement[block.index]].sim)
             )
+        if runtime is not None:
+            runtime.bind_pipeline(cluster, problem, blocks, workers, gpus, handles)
 
         result = TrainResult(
             method="neuroflux-pipelined",
@@ -768,6 +853,7 @@ class NeuroFlux:
             queue_capacity=queue_capacity,
             start_offsets=start_offsets,
             on_epoch_end=on_epoch_end,
+            runtime=runtime,
         )
         try:
             stats = executor.run(epochs, time_budget_s)
@@ -779,7 +865,7 @@ class NeuroFlux:
         result.sim_time_s = stats.makespan_s
         result.peak_memory_bytes = max(gpu.peak for gpu in gpus)
         report.profiling_time_s = profiling_time
-        return report, stats
+        return report, stats, list(executor.placement)
 
     def build_exit_model(self, exit_layer: int) -> EarlyExitModel:
         """Assemble the deployable early-exit model for a given layer."""

@@ -96,6 +96,11 @@ class BlockWorker:
     def forward_flops_per_sample(self) -> int:
         return self._forward_flops_per_sample
 
+    @property
+    def n_kernels(self) -> int:
+        """Kernel dispatches per training step (for external step pricing)."""
+        return self._n_kernels
+
     def train_batch(
         self,
         x: np.ndarray,
@@ -135,11 +140,16 @@ class BlockWorker:
         batches: Iterable[tuple[np.ndarray, np.ndarray]],
         time_budget_s: float | None = None,
         input_mode: str = "prefetch-raw",
+        on_batch: Callable[[int, float, int], None] | None = None,
     ) -> tuple[int, int, float]:
         """One pass of Algorithm 2 over the input stream.
 
         Returns ``(n_batches, n_samples, mean_last_layer_loss)``.  Stops
         early if the simulated clock passes ``time_budget_s``.
+        ``on_batch(n_batches_done, step_seconds, batch_samples)`` runs
+        after every batch -- the adaptive runtime's observation/event
+        hook.  It may rebind :attr:`sim` (live migration); later batches
+        charge the new device.
         """
         for spec in self.layer_specs:
             spec.module.train()
@@ -149,10 +159,12 @@ class BlockWorker:
         n_samples = 0
         loss_sum = 0.0
         for x, y in batches:
-            out, loss, _ = self.train_batch(x, y, input_mode=input_mode)
+            out, loss, step_t = self.train_batch(x, y, input_mode=input_mode)
             loss_sum += loss * len(out)
             n_batches += 1
             n_samples += len(out)
+            if on_batch is not None:
+                on_batch(n_batches, step_t, len(out))
             if time_budget_s is not None and self.sim.elapsed >= time_budget_s:
                 break
         mean_loss = loss_sum / n_samples if n_samples else float("nan")

@@ -50,3 +50,14 @@ class PartitionError(ReproError):
 
 class PlacementError(ReproError):
     """No block-to-device placement satisfies the device memory budgets."""
+
+
+class FaultError(ReproError):
+    """A device fault the running schedule cannot recover from.
+
+    Raised when a :class:`~repro.runtime.events.DeviceFailure` hits a
+    device that hosts live training state and no recovery path exists --
+    e.g. the adaptive runtime is running with ``adapt=False`` (fault
+    injection without migration) or every surviving device is out of
+    budget for the orphaned blocks.
+    """

@@ -16,11 +16,20 @@ synchronous FedAvg over NeuroFlux clients:
   (booked under ``communication``);
 * round latency is the slowest device's simulated time (synchronous
   FedAvg -- the straggler sets the pace).
+
+:meth:`FederatedNeuroFlux.run_async` drops the synchronous barrier: the
+server applies client updates the moment they arrive (bounded staleness,
+FedAsync-style mixing), ordered by the same discrete event clock the
+adaptive cluster runtime uses -- so a straggler delays only its own
+contribution, not the round.  The same fault/load schedules apply:
+a :class:`~repro.runtime.events.DeviceSlowdown` throttles one client's
+ledger, a :class:`~repro.runtime.events.DeviceFailure` drops the client
+(and any in-flight update) outright.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -89,6 +98,38 @@ class FederatedResult:
     rounds: list[FederatedRound]
     final_accuracy: float
     total_sim_time_s: float
+
+
+@dataclass
+class AppliedUpdate:
+    """One asynchronous client update the server accepted."""
+
+    time_s: float
+    client_id: int
+    staleness: int
+    mix_weight: float
+
+
+@dataclass
+class AsyncFederatedResult:
+    """What one bounded-staleness asynchronous run produced."""
+
+    applied: list[AppliedUpdate]
+    n_rejected: int
+    final_accuracy: float
+    total_sim_time_s: float
+    client_times_s: list[float] = field(default_factory=list)
+    dropped_clients: list[int] = field(default_factory=list)
+
+    @property
+    def n_applied(self) -> int:
+        return len(self.applied)
+
+    @property
+    def mean_staleness(self) -> float:
+        if not self.applied:
+            return float("nan")
+        return sum(u.staleness for u in self.applied) / len(self.applied)
 
 
 def shard_dataset(
@@ -167,32 +208,15 @@ class FederatedNeuroFlux:
             round_comm = 0.0
             for client, device in zip(self.clients, self.cluster):
                 t0 = device.sim.elapsed
-                # Global model download + (below) local update upload, over
-                # the client's own WAN link.
-                round_comm += device.sim.add_communication(
-                    self._update_bytes(), client.link
+                state, client_aux, exit_layer, comm = self._run_client_once(
+                    client, device, local_epochs
                 )
-                model = self._build_model()
-                model.load_state_dict(self._global_state)
-                nf = NeuroFlux(
-                    model,
-                    client.data,
-                    memory_budget=client.memory_budget,
-                    platform=client.platform,
-                    config=self.config,
-                )
-                for head, state in zip(nf.aux_heads, self._global_aux_states):
-                    head.load_state_dict(state)
-                report = nf.run(local_epochs)
-                device.sim.ledger.merge(report.result.ledger)
-                round_comm += device.sim.add_communication(
-                    self._update_bytes(), client.link
-                )
-                states.append(model.state_dict())
-                aux_states.append([h.state_dict() for h in nf.aux_heads])
+                round_comm += comm
+                states.append(state)
+                aux_states.append(client_aux)
                 weights.append(float(client.n_samples))
                 times.append(device.sim.elapsed - t0)
-                exit_layers.append(report.exit_layer)
+                exit_layers.append(exit_layer)
             self._global_state = federated_average(states, weights)
             self._global_model.load_state_dict(self._global_state)
             self._global_aux_states = [
@@ -220,6 +244,199 @@ class FederatedNeuroFlux:
             rounds=history,
             final_accuracy=history[-1].global_accuracy,
             total_sim_time_s=total_time,
+        )
+
+    def _run_client_once(
+        self, client: FederatedClient, device, local_epochs: int
+    ) -> tuple[dict[str, np.ndarray], list[dict[str, np.ndarray]], int, float]:
+        """One local round on one client, charged to its device ledger.
+
+        Downloads the current global state, trains NeuroFlux locally,
+        uploads the update.  Local work (the merged training ledger) is
+        scaled by the device's ``time_scale`` perturbation -- a throttled
+        client trains slower -- while WAN transfers are not.  Returns
+        ``(model_state, aux_states, exit_layer, comm_seconds)``.
+        """
+        comm = device.sim.add_communication(self._update_bytes(), client.link)
+        model = self._build_model()
+        model.load_state_dict(self._global_state)
+        nf = NeuroFlux(
+            model,
+            client.data,
+            memory_budget=client.memory_budget,
+            platform=client.platform,
+            config=self.config,
+        )
+        for head, state in zip(nf.aux_heads, self._global_aux_states):
+            head.load_state_dict(state)
+        report = nf.run(local_epochs)
+        ledger = report.result.ledger
+        if device.sim.time_scale != 1.0:
+            for f in fields(ledger):
+                setattr(ledger, f.name, getattr(ledger, f.name) * device.sim.time_scale)
+        device.sim.ledger.merge(ledger)
+        comm += device.sim.add_communication(self._update_bytes(), client.link)
+        return (
+            model.state_dict(),
+            [h.state_dict() for h in nf.aux_heads],
+            report.exit_layer,
+            comm,
+        )
+
+    def run_async(
+        self,
+        rounds: int | None = None,
+        local_epochs: int = 1,
+        max_staleness: int = 2,
+        base_mix: float = 0.5,
+        duration_s: float | None = None,
+        events=None,
+    ) -> AsyncFederatedResult:
+        """Asynchronous bounded-staleness federated rounds (no barrier).
+
+        Clients train back to back on their own device clocks; the server
+        applies each update the moment it lands, ordered by the runtime's
+        discrete event clock.  An update that trained against a global
+        version more than ``max_staleness`` applications old is rejected
+        (the work is wasted -- the price of being too stale); accepted
+        updates mix into the global state FedAsync-style with weight
+        ``base_mix / (1 + staleness)``.
+
+        Stop conditions: each client runs at most ``rounds`` local rounds
+        (``None`` = unbounded) and starts no new round after
+        ``duration_s`` simulated seconds; at least one bound is required.
+
+        ``events`` (an :class:`~repro.runtime.events.EventSchedule`) maps
+        device indices to clients: a slowdown/spike throttles the
+        client's local work, a failure drops the client -- and any
+        in-flight update -- for good.  Events are sampled at *round*
+        granularity (the federation only observes clients when a round
+        starts or an update lands): a perturbation starting mid-round
+        takes effect from the client's next round, and a spike fully
+        contained inside one round is invisible -- unlike the cluster
+        runtime, which samples per micro-batch.  Join events are not
+        meaningful here (a client is a data shard, not just hardware)
+        and are rejected.
+        """
+        from repro.runtime.events import DeviceJoin, EventClock, SchedulePlayer
+
+        if rounds is None and duration_s is None:
+            raise ConfigError("need a stop condition: rounds and/or duration_s")
+        if rounds is not None and rounds < 1:
+            raise ConfigError("rounds must be >= 1")
+        if duration_s is not None and duration_s <= 0:
+            raise ConfigError("duration_s must be positive")
+        if max_staleness < 0:
+            raise ConfigError("max_staleness must be >= 0")
+        if not 0 < base_mix <= 1:
+            raise ConfigError("base_mix must be in (0, 1]")
+        for event in events or ():
+            if isinstance(event, DeviceJoin):
+                raise ConfigError(
+                    "DeviceJoin events are not supported for federated "
+                    "clients (a client is a data shard, not just hardware)"
+                )
+            if event.device >= len(self.clients):
+                raise ConfigError(
+                    f"event targets device {event.device}, but there are "
+                    f"only {len(self.clients)} clients"
+                )
+        # The runtime's schedule player owns the event semantics (window
+        # expiry, scale combination, failure dedup); here a "device" is a
+        # client and failure means the client drops out of the federation.
+        player = SchedulePlayer(events)
+        failed = player.failed
+
+        def advance_events(now: float) -> None:
+            player.due(now)
+            scales = player.scales(now)
+            for c, device in enumerate(self.cluster):
+                if c not in failed:
+                    device.sim.time_scale = scales.get(c, 1.0)
+
+        n = len(self.clients)
+        rounds_left = [rounds if rounds is not None else -1] * n
+        pending = EventClock()
+        version = 0
+        applied: list[AppliedUpdate] = []
+        n_rejected = 0
+        exit_layers: list[int] = []
+        last_applied_s = 0.0
+
+        while True:
+            runnable = [
+                c
+                for c in range(n)
+                if c not in failed
+                and rounds_left[c] != 0
+                and (duration_s is None or self.cluster[c].sim.elapsed < duration_s)
+            ]
+            next_start = (
+                min((self.cluster[c].sim.elapsed, c) for c in runnable)
+                if runnable
+                else None
+            )
+            next_done = pending.peek_time()
+            if next_start is None and next_done is None:
+                break
+            if next_done is not None and (
+                next_start is None or next_done <= next_start[0]
+            ):
+                t, payload = pending.pop()
+                client_id, v0, state, aux_states, exit_layer = payload
+                advance_events(t)
+                if client_id in failed:
+                    continue  # the update died with the client
+                staleness = version - v0
+                if staleness > max_staleness:
+                    n_rejected += 1
+                    continue
+                alpha = base_mix / (1 + staleness)
+                self._global_state = federated_average(
+                    [self._global_state, state], [1.0 - alpha, alpha]
+                )
+                self._global_aux_states = [
+                    federated_average([g, u], [1.0 - alpha, alpha])
+                    for g, u in zip(self._global_aux_states, aux_states)
+                ]
+                version += 1
+                applied.append(AppliedUpdate(t, client_id, staleness, alpha))
+                # Only updates that actually entered the global model vote
+                # on the consensus exit (rejected/dropped rounds never
+                # influenced the weights being evaluated).
+                exit_layers.append(exit_layer)
+                last_applied_s = max(last_applied_s, t)
+            else:
+                t0, client_id = next_start
+                advance_events(t0)
+                if client_id in failed:
+                    continue
+                client = self.clients[client_id]
+                device = self.cluster[client_id]
+                v0 = version
+                state, aux_states, exit_layer, _ = self._run_client_once(
+                    client, device, local_epochs
+                )
+                if rounds_left[client_id] > 0:
+                    rounds_left[client_id] -= 1
+                pending.push(
+                    device.sim.elapsed,
+                    (client_id, v0, state, aux_states, exit_layer),
+                )
+
+        self._global_model.load_state_dict(self._global_state)
+        for head, state in zip(self._global_aux, self._global_aux_states):
+            head.load_state_dict(state)
+        accuracy = self._global_exit_accuracy(
+            exit_layers if exit_layers else [len(self._global_aux) - 1]
+        )
+        return AsyncFederatedResult(
+            applied=applied,
+            n_rejected=n_rejected,
+            final_accuracy=accuracy,
+            total_sim_time_s=last_applied_s,
+            client_times_s=[d.sim.elapsed for d in self.cluster],
+            dropped_clients=sorted(failed),
         )
 
     def _global_exit_accuracy(self, client_exits: list[int]) -> float:

@@ -45,10 +45,30 @@ class TimeLedger:
 
 @dataclass
 class ExecutionSimulator:
-    """Converts work (FLOPs, bytes, dispatches) to simulated seconds."""
+    """Converts work (FLOPs, bytes, dispatches) to simulated seconds.
+
+    ``time_scale`` is the perturbation hook used by :mod:`repro.runtime`:
+    every *local* charge (training/inference/serving steps, cache I/O) is
+    multiplied by it, so a thermal throttle or co-located load spike can
+    be injected into a live device ledger without touching the platform
+    descriptor.  Link transfers (:meth:`add_communication`) are not
+    scaled -- a slow GPU does not slow the NIC.  At the default ``1.0``
+    every charge is bit-identical to the unperturbed model.
+    """
 
     platform: Platform
     ledger: TimeLedger = field(default_factory=TimeLedger)
+    time_scale: float = 1.0
+
+    def perturb(self, scale: float) -> None:
+        """Set the local-work slowdown factor (``1.0`` = nominal)."""
+        if scale <= 0:
+            raise ConfigError(f"time scale must be positive, got {scale}")
+        self.time_scale = float(scale)
+
+    def _scaled(self, seconds: float) -> float:
+        # Guarded so the unperturbed path stays exactly the seed model.
+        return seconds * self.time_scale if self.time_scale != 1.0 else seconds
 
     def compute_time(self, flops: float) -> float:
         if flops < 0:
@@ -88,12 +108,14 @@ class ExecutionSimulator:
         """
         if input_mode not in self.INPUT_MODE_OVERHEAD:
             raise ConfigError(f"unknown input mode {input_mode!r}")
-        compute = self.compute_time(flops)
-        io = self.transfer_time(batch_bytes)
+        compute = self._scaled(self.compute_time(flops))
+        io = self._scaled(self.transfer_time(batch_bytes))
         batch_cost = (
             self.platform.batch_overhead * self.INPUT_MODE_OVERHEAD[input_mode]
         )
-        overhead = batch_cost + n_kernels * self.platform.kernel_launch_overhead
+        overhead = self._scaled(
+            batch_cost + n_kernels * self.platform.kernel_launch_overhead
+        )
         self.ledger.compute += compute
         self.ledger.data_io += io
         self.ledger.overhead += overhead
@@ -101,9 +123,9 @@ class ExecutionSimulator:
 
     def add_inference_batch(self, flops: float, batch_bytes: float, n_kernels: int) -> float:
         """Account one inference batch (no per-batch training overhead)."""
-        compute = self.compute_time(flops)
-        io = self.transfer_time(batch_bytes)
-        overhead = n_kernels * self.platform.kernel_launch_overhead
+        compute = self._scaled(self.compute_time(flops))
+        io = self._scaled(self.transfer_time(batch_bytes))
+        overhead = self._scaled(n_kernels * self.platform.kernel_launch_overhead)
         self.ledger.compute += compute
         self.ledger.data_io += io
         self.ledger.overhead += overhead
@@ -116,7 +138,7 @@ class ExecutionSimulator:
         separately so deployment-time load is distinguishable from
         training-time evaluation in the ledger.
         """
-        t = (
+        t = self._scaled(
             self.compute_time(flops)
             + self.transfer_time(batch_bytes)
             + n_kernels * self.platform.kernel_launch_overhead
@@ -136,12 +158,12 @@ class ExecutionSimulator:
         return t
 
     def add_cache_write(self, nbytes: float, n_files: int = 1) -> float:
-        t = self.storage_time(nbytes, n_files)
+        t = self._scaled(self.storage_time(nbytes, n_files))
         self.ledger.cache_io += t
         return t
 
     def add_cache_read(self, nbytes: float, n_files: int = 1) -> float:
-        t = self.storage_time(nbytes, n_files)
+        t = self._scaled(self.storage_time(nbytes, n_files))
         self.ledger.cache_io += t
         return t
 

@@ -33,6 +33,40 @@ class Optimizer:
         """Bytes of optimizer state (excluding the parameters themselves)."""
         raise NotImplementedError
 
+    # -- (de)serialization -------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Optimizer state as named arrays (bit-exact snapshot).
+
+        Stateless optimizers return an empty dict.  Together with
+        :meth:`load_state_dict` this is what block migration and
+        fault-tolerant checkpointing serialize (see
+        :mod:`repro.training.checkpointing`).
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if state:
+            raise ConfigError(
+                f"unexpected optimizer state entries: {sorted(state)}"
+            )
+
+    @staticmethod
+    def _restore(buffers: list[np.ndarray], state: dict[str, np.ndarray], prefix: str) -> None:
+        expected = {f"{prefix}.{i}" for i in range(len(buffers))}
+        if set(state) != expected:
+            raise ConfigError(
+                f"optimizer state mismatch for {prefix!r}: "
+                f"got {sorted(state)}, expected {sorted(expected)}"
+            )
+        for i, buf in enumerate(buffers):
+            value = state[f"{prefix}.{i}"]
+            if value.shape != buf.shape:
+                raise ConfigError(
+                    f"optimizer state {prefix}.{i}: expected shape "
+                    f"{buf.shape}, got {value.shape}"
+                )
+            buf[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum and weight decay."""
@@ -83,6 +117,17 @@ class SGD(Optimizer):
             return 0
         return sum(v.nbytes for v in self._velocity)
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        if self._velocity is None:
+            return {}
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if self._velocity is None:
+            super().load_state_dict(state)
+            return
+        self._restore(self._velocity, state, "velocity")
+
 
 class Adam(Optimizer):
     """Adam with bias correction."""
@@ -126,6 +171,28 @@ class Adam(Optimizer):
 
     def state_bytes(self) -> int:
         return sum(m.nbytes for m in self._m) + sum(v.nbytes for v in self._v)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        out = {f"m.{i}": m.copy() for i, m in enumerate(self._m)}
+        out.update({f"v.{i}": v.copy() for i, v in enumerate(self._v)})
+        out["t"] = np.array(self._t, dtype=np.int64)
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "t" not in state:
+            raise ConfigError("Adam state is missing the step counter 't'")
+        state = dict(state)
+        t = state.pop("t")
+        m_state = {k: v for k, v in state.items() if k.startswith("m.")}
+        v_state = {k: v for k, v in state.items() if k.startswith("v.")}
+        unexpected = set(state) - set(m_state) - set(v_state)
+        if unexpected:
+            raise ConfigError(
+                f"unexpected Adam state entries: {sorted(unexpected)}"
+            )
+        self._restore(self._m, m_state, "m")
+        self._restore(self._v, v_state, "v")
+        self._t = int(t)
 
 
 def make_optimizer(name: str, params: list[Parameter], lr: float, **kwargs) -> Optimizer:

@@ -70,14 +70,29 @@ class Cluster:
         if not devices:
             raise ConfigError("a cluster needs at least one device")
         self.devices = list(devices)
+        seen: set[int] = set()
         for i, device in enumerate(self.devices):
+            if id(device) in seen:
+                raise ConfigError(
+                    f"duplicate device at index {i}: the same Device object "
+                    "appears twice (each device needs its own ledger)"
+                )
+            seen.add(id(device))
             device.index = i
         self.default_link = link
         self.links = dict(links) if links else {}
         n = len(self.devices)
         for src, dst in self.links:
+            if src == dst:
+                raise ConfigError(
+                    f"link ({src}, {dst}) connects a device to itself; "
+                    "intra-device transfers are free and take no link"
+                )
             if not (0 <= src < n and 0 <= dst < n):
-                raise ConfigError(f"link endpoint ({src}, {dst}) out of range")
+                raise ConfigError(
+                    f"link ({src}, {dst}) references an unknown device "
+                    f"(cluster has {n} devices)"
+                )
 
     @classmethod
     def from_names(
@@ -108,6 +123,18 @@ class Cluster:
             for name, budget in zip(names, budgets)
         ]
         return cls(devices, link=link, links=links)
+
+    def add_device(self, device: Device) -> int:
+        """Admit a device into a live cluster (elastic join).
+
+        Returns the new device's index.  Existing links are untouched;
+        transfers to or from the newcomer use the cluster default link.
+        """
+        if any(d is device for d in self.devices):
+            raise ConfigError("device is already a member of this cluster")
+        device.index = len(self.devices)
+        self.devices.append(device)
+        return device.index
 
     # -- container protocol --------------------------------------------------
     def __len__(self) -> int:

@@ -111,6 +111,35 @@ class PipelineClock:
     def items_processed(self, k: int) -> int:
         return len(self._starts[k])
 
+    # -- elasticity hooks (repro.runtime) ---------------------------------
+    @property
+    def n_devices(self) -> int:
+        return len(self.device_free)
+
+    def add_device(self, start_time: float = 0.0) -> int:
+        """Admit a device mid-run (elastic join); returns its index.
+
+        The newcomer is free from ``start_time`` on and has done no work.
+        """
+        if start_time < 0:
+            raise ConfigError("start_time must be non-negative")
+        self.device_free.append(start_time)
+        self.device_busy.append(0.0)
+        return len(self.device_free) - 1
+
+    def hold_device(self, d: int, until: float) -> None:
+        """Occupy device ``d`` until ``until`` (migration/recovery delay).
+
+        The hold is real occupancy on the run's critical path -- restores
+        and replayed steps keep the device from training -- so it extends
+        the makespan like any other step would.
+        """
+        if not 0 <= d < len(self.device_free):
+            raise ConfigError(f"device {d} out of range")
+        if until > self.device_free[d]:
+            self.device_free[d] = until
+            self.makespan = max(self.makespan, until)
+
 
 def schedule_timing(
     step_times: list[list[float]],
@@ -202,6 +231,7 @@ class PipelineExecutor:
         start_offsets: list[float] | None = None,
         batch_source: Callable[[int], Iterable[tuple[np.ndarray, np.ndarray]]] | None = None,
         on_epoch_end: Callable[[int, float, float], None] | None = None,
+        runtime=None,
     ):
         if len(placement) != len(workers):
             raise ConfigError(
@@ -223,6 +253,11 @@ class PipelineExecutor:
         self.start_offsets = start_offsets
         self.batch_source = batch_source
         self.on_epoch_end = on_epoch_end
+        #: Optional adaptive control loop (``repro.runtime.AdaptiveRuntime``):
+        #: observed after every stage step, consulted after every micro-batch.
+        #: It may mutate ``placement``, rebind worker simulators and grow the
+        #: cluster/clock -- the executor just keeps streaming.
+        self.runtime = runtime
 
     def _epoch_batches(self, epoch: int) -> Iterable[tuple[np.ndarray, np.ndarray]]:
         if self.batch_source is not None:
@@ -252,7 +287,13 @@ class PipelineExecutor:
             self.queue_capacity,
             self.start_offsets,
         )
-        comm_seconds = [0.0] * len(self.cluster)
+        if self.runtime is not None:
+            self.runtime.start_pipeline(self, clock)
+        comm_seconds: dict[int, float] = {}
+        # Devices that ever host a stage: under a runtime the placement
+        # moves, and bubble accounting must include a device that carried
+        # blocks for most of the run even if it failed or was vacated.
+        ever_hosted = set(self.placement)
         comm_bytes = 0
         n_micro = 0
         epoch_losses: list[float] = []
@@ -273,13 +314,18 @@ class PipelineExecutor:
                         nbytes = out.nbytes + y.nbytes
                         comm_t = self.cluster.charge_transfer(src, dst, nbytes)
                         if src != dst:
-                            comm_seconds[src] += comm_t
+                            comm_seconds[src] = comm_seconds.get(src, 0.0) + comm_t
                             comm_bytes += nbytes
                     clock.step(k, step_t, comm_t)
+                    if self.runtime is not None:
+                        self.runtime.on_stage_step(k, step_t, len(y))
                     x = out
                 loss_sum += loss * len(x)
                 n_samples += len(x)
                 n_micro += 1
+                if self.runtime is not None:
+                    self.runtime.after_microbatch()
+                    ever_hosted.update(self.placement)
                 if time_budget_s is not None and clock.makespan >= time_budget_s:
                     stopped = True
                     break
@@ -289,13 +335,13 @@ class PipelineExecutor:
                 self.on_epoch_end(epoch, clock.makespan, mean_loss)
             if stopped:
                 break
-        active = [False] * len(self.cluster)
-        for d in self.placement:
-            active[d] = True
+        active = [d in ever_hosted for d in range(len(self.cluster))]
         return PipelineStats(
             makespan_s=clock.makespan,
             device_busy_s=list(clock.device_busy),
-            device_comm_s=comm_seconds,
+            device_comm_s=[
+                comm_seconds.get(d, 0.0) for d in range(len(self.cluster))
+            ],
             device_active=active,
             n_microbatches=n_micro,
             microbatch=self.microbatch,

@@ -85,6 +85,31 @@ def block_cost(
     )
 
 
+def price_training_step(
+    platform,
+    cost: BlockCost,
+    batch: int,
+    sample_bytes: int,
+    input_mode: str,
+) -> float:
+    """Nominal seconds of one block training step on ``platform``.
+
+    The single pricing rule shared by :func:`build_problem`, the drift
+    monitor's predictions and the runtime's re-placement refinement --
+    priced with the very accounting the executor charges
+    (:meth:`ExecutionSimulator.add_training_step` on a fresh simulator),
+    so predictions and charges can only diverge where the cluster
+    actually drifts.
+    """
+    sim = ExecutionSimulator(platform)
+    return sim.add_training_step(
+        cost.train_flops_per_sample * batch,
+        sample_bytes * batch,
+        cost.n_kernels,
+        input_mode=input_mode,
+    )
+
+
 @dataclass(frozen=True)
 class PlacementProblem:
     """Everything a placement strategy needs to price a candidate."""
@@ -97,6 +122,9 @@ class PlacementProblem:
     microbatch: int
     n_microbatches: int
     queue_capacity: int
+    #: Raw bytes staged per sample (lets the runtime re-price step times
+    #: for refined coefficients, joined devices and replayed batches).
+    sample_bytes: int = 0
 
     @property
     def n_blocks(self) -> int:
@@ -128,19 +156,14 @@ def build_problem(
     step_times = []
     for k, cost in enumerate(costs):
         input_mode = "prefetch-raw" if k == 0 else "prefetch-cache"
-        row = []
-        for device in cluster:
-            # Price one step with the same accounting the executor charges.
-            sim = ExecutionSimulator(device.platform)
-            row.append(
-                sim.add_training_step(
-                    cost.train_flops_per_sample * microbatch,
-                    sample_bytes * microbatch,
-                    cost.n_kernels,
-                    input_mode=input_mode,
+        step_times.append(
+            tuple(
+                price_training_step(
+                    device.platform, cost, microbatch, sample_bytes, input_mode
                 )
+                for device in cluster
             )
-        step_times.append(tuple(row))
+        )
     comm_bytes = tuple(
         cost.out_bytes_per_sample * microbatch for cost in costs[:-1]
     )
@@ -154,6 +177,7 @@ def build_problem(
         microbatch=microbatch,
         n_microbatches=batches_per_epoch * epochs,
         queue_capacity=queue_capacity,
+        sample_bytes=sample_bytes,
     )
 
 
@@ -300,7 +324,9 @@ class PlacementResult:
 
 
 def optimize_placement(
-    problem: PlacementProblem, max_rounds: int = 50
+    problem: PlacementProblem,
+    max_rounds: int = 50,
+    extra_starts: list[list[int]] | None = None,
 ) -> PlacementResult:
     """Local search (exprimo-style moves + swaps) over block placements.
 
@@ -308,10 +334,17 @@ def optimize_placement(
     when feasible) and repeatedly applies the single best improving
     move -- relocating one block or swapping two blocks' devices -- until
     a round yields no improvement.  The returned placement therefore
-    never predicts worse than any feasible baseline.  Raises
-    :class:`PlacementError` only when no starting point exists at all.
+    never predicts worse than any feasible baseline.
+    ``extra_starts`` seeds additional feasible starting points -- the
+    online re-placement policy passes the *current* placement, so the
+    search descends to a nearby optimum instead of re-deriving one from
+    scratch (fewer gratuitous migrations, stable across re-checks).
+    Raises :class:`PlacementError` only when no starting point exists.
     """
     starts: list[list[int]] = []
+    for start in extra_starts or []:
+        if len(start) == problem.n_blocks and placement_feasible(problem, start):
+            starts.append(list(start))
     try:
         starts.append(greedy_placement(problem))
     except PlacementError:
@@ -333,10 +366,11 @@ def optimize_placement(
             if move_placement is None:
                 break
             placement, cost = move_placement, move_cost
-        if cost < best_cost:
+        # ``or`` keeps the first start even when every candidate prices at
+        # infinity (e.g. a refined problem where a device died).
+        if best_placement is None or cost < best_cost:
             best_cost = cost
             best_placement = placement
-    assert best_placement is not None  # some start always ran or raised
     return PlacementResult(tuple(best_placement), best_cost)
 
 

@@ -35,6 +35,10 @@ class ParallelReport:
     comm_bytes: int = 0
     microbatch: int = 0
     n_microbatches: int = 0
+    #: Present when the run was driven by an adaptive runtime
+    #: (:class:`repro.runtime.RuntimeReport`): events, migrations,
+    #: refined coefficients, recovery time.
+    runtime: object | None = None
 
     @property
     def device_times_s(self) -> list[float]:
@@ -71,4 +75,34 @@ class ParallelReport:
             f"  exit layer: {self.report.exit_layer + 1} "
             f"(test acc {self.report.exit_test_accuracy:.3f})"
         )
+        if self.runtime is not None:
+            lines.append(self.runtime.summary())
         return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable run report (the CLI's ``--report-json``)."""
+        def _num(x: float) -> float | None:
+            return None if x != x else round(x, 6)  # NaN -> null
+
+        return {
+            "schema": 1,
+            "schedule": self.schedule,
+            "placement": list(self.placement),
+            "device_names": list(self.device_names),
+            "makespan_s": _num(self.makespan_s),
+            "predicted_makespan_s": _num(self.predicted_makespan_s),
+            "bubble_fraction": _num(self.bubble_fraction),
+            "utilization": [round(u, 4) for u in self.utilization],
+            "device_ledgers": [
+                {key: round(value, 6) for key, value in ledger.items()}
+                for ledger in self.device_ledgers
+            ],
+            "comm_bytes": self.comm_bytes,
+            "microbatch": self.microbatch,
+            "n_microbatches": self.n_microbatches,
+            "exit_layer": self.report.exit_layer,
+            "exit_test_accuracy": _num(self.report.exit_test_accuracy),
+            "runtime": (
+                self.runtime.to_json_dict() if self.runtime is not None else None
+            ),
+        }

@@ -1,0 +1,337 @@
+"""Deterministic fault/load schedules for the adaptive cluster runtime.
+
+A schedule is a time-ordered list of perturbation events on the simulated
+clock of a cluster run:
+
+* :class:`DeviceSlowdown` -- a device's local work slows by ``factor``
+  (thermal throttle, DVFS cap); permanent unless ``duration_s`` is set;
+* :class:`LoadSpike` -- a *temporary* slowdown (co-located tenant,
+  background job) that expires after ``duration_s``;
+* :class:`DeviceFailure` -- the device drops out; state not captured by
+  a checkpoint is lost;
+* :class:`DeviceJoin` -- a fresh device becomes available (elasticity).
+
+Events are injected into live :class:`~repro.hw.simulator.ExecutionSimulator`
+ledgers through the ``time_scale`` perturbation hook, so the *same*
+schedule replays bit-identically for any consumer: the static arm of a
+benchmark sees exactly the faults the adaptive arm saw.  Schedules are
+JSON round-trippable (``--events`` on the CLI) and can be drawn from a
+seeded generator for scenario suites.
+
+:class:`EventClock` is the minimal discrete-event clock shared by the
+runtime and the asynchronous federated extension.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import ConfigError
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class DeviceSlowdown:
+    """Device ``device`` runs local work ``factor``x slower from ``time_s``.
+
+    ``duration_s=None`` means permanent (a degraded card); otherwise the
+    slowdown lifts after ``duration_s`` seconds.
+    """
+
+    time_s: float
+    device: int
+    factor: float
+    duration_s: float | None = None
+
+    kind = "slowdown"
+
+    def __post_init__(self) -> None:
+        _check_common(self)
+        if self.factor <= 0:
+            raise ConfigError(f"slowdown factor must be positive, got {self.factor}")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ConfigError("slowdown duration must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class LoadSpike:
+    """A transient contention spike: ``factor``x slower for ``duration_s``."""
+
+    time_s: float
+    device: int
+    factor: float
+    duration_s: float
+
+    kind = "spike"
+
+    def __post_init__(self) -> None:
+        _check_common(self)
+        if self.factor <= 0:
+            raise ConfigError(f"spike factor must be positive, got {self.factor}")
+        if self.duration_s <= 0:
+            raise ConfigError("spike duration must be positive")
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """Device ``device`` stops at ``time_s`` and never comes back."""
+
+    time_s: float
+    device: int
+
+    kind = "failure"
+
+    def __post_init__(self) -> None:
+        _check_common(self)
+
+
+@dataclass(frozen=True)
+class DeviceJoin:
+    """A new ``platform`` device joins the cluster at ``time_s``."""
+
+    time_s: float
+    platform: str
+    memory_budget: int | None = None
+
+    kind = "join"
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ConfigError(f"event time must be non-negative, got {self.time_s}")
+        if not self.platform:
+            raise ConfigError("join event needs a platform name")
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ConfigError("join memory budget must be positive (or None)")
+
+
+Event = Union[DeviceSlowdown, LoadSpike, DeviceFailure, DeviceJoin]
+
+_EVENT_TYPES = {
+    cls.kind: cls for cls in (DeviceSlowdown, LoadSpike, DeviceFailure, DeviceJoin)
+}
+
+
+def _check_common(event) -> None:
+    if event.time_s < 0:
+        raise ConfigError(f"event time must be non-negative, got {event.time_s}")
+    if event.device < 0:
+        raise ConfigError(f"event device must be non-negative, got {event.device}")
+
+
+class EventSchedule:
+    """An immutable, time-sorted fault/load schedule.
+
+    The schedule itself carries no cursor, so one instance can drive any
+    number of runs (static and adaptive arms of a benchmark replay the
+    identical event stream); consumers keep their own position.
+    """
+
+    def __init__(self, events: list[Event] | tuple[Event, ...] = ()):
+        for event in events:
+            if not isinstance(event, tuple(_EVENT_TYPES.values())):
+                raise ConfigError(f"not a runtime event: {event!r}")
+        self.events: tuple[Event, ...] = tuple(
+            sorted(events, key=lambda e: e.time_s)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, EventSchedule) and self.events == other.events
+
+    # -- JSON round trip ---------------------------------------------------
+    def to_json_dict(self) -> dict:
+        out = []
+        for event in self.events:
+            entry = {"type": event.kind}
+            for field_name in event.__dataclass_fields__:
+                entry[field_name] = getattr(event, field_name)
+            out.append(entry)
+        return {"events": out}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "EventSchedule":
+        if not isinstance(payload, dict) or "events" not in payload:
+            raise ConfigError('event schedule JSON needs an "events" list')
+        events = []
+        for entry in payload["events"]:
+            if not isinstance(entry, dict) or "type" not in entry:
+                raise ConfigError(f'event entry needs a "type": {entry!r}')
+            kind = entry["type"]
+            if kind not in _EVENT_TYPES:
+                raise ConfigError(
+                    f"unknown event type {kind!r}; known: {sorted(_EVENT_TYPES)}"
+                )
+            kwargs = {k: v for k, v in entry.items() if k != "type"}
+            try:
+                events.append(_EVENT_TYPES[kind](**kwargs))
+            except TypeError as exc:
+                raise ConfigError(f"bad {kind} event {entry!r}: {exc}") from exc
+        return cls(events)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json_dict(), fh, indent=2)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "EventSchedule":
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except OSError as exc:
+            raise ConfigError(f"cannot read event schedule {path!r}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON in {path!r}: {exc}") from exc
+        return cls.from_json_dict(payload)
+
+
+def random_schedule(
+    seed: int,
+    n_devices: int,
+    horizon_s: float,
+    n_events: int = 3,
+    kinds: tuple[str, ...] = ("slowdown", "spike"),
+    max_factor: float = 4.0,
+) -> EventSchedule:
+    """Draw a reproducible schedule for a scenario suite.
+
+    Event times are uniform over ``(0.1, 0.6) * horizon_s`` (late enough
+    that a baseline exists, early enough that adaptation can pay off);
+    slowdown/spike factors are uniform over ``(1.5, max_factor)``.  The
+    same ``(seed, args)`` always yields the identical schedule.
+
+    ``n_events`` is an upper bound, not a guarantee: a ``failure`` draw
+    that would kill an already-failed device -- or leave no survivor --
+    is dropped rather than redrawn, so heavily failure-weighted requests
+    can return fewer events (check ``len(schedule)`` if the exact count
+    matters).
+    """
+    if n_devices < 1:
+        raise ConfigError("need at least one device")
+    if horizon_s <= 0:
+        raise ConfigError("horizon must be positive")
+    for kind in kinds:
+        if kind not in ("slowdown", "spike", "failure"):
+            raise ConfigError(f"cannot generate events of kind {kind!r}")
+    rng = spawn_rng(seed, "runtime/events")
+    events: list[Event] = []
+    failed: set[int] = set()
+    for _ in range(n_events):
+        kind = kinds[int(rng.integers(len(kinds)))]
+        time_s = float(rng.uniform(0.1, 0.6)) * horizon_s
+        device = int(rng.integers(n_devices))
+        if kind == "slowdown":
+            events.append(
+                DeviceSlowdown(time_s, device, float(rng.uniform(1.5, max_factor)))
+            )
+        elif kind == "spike":
+            events.append(
+                LoadSpike(
+                    time_s,
+                    device,
+                    float(rng.uniform(1.5, max_factor)),
+                    duration_s=float(rng.uniform(0.2, 0.5)) * horizon_s,
+                )
+            )
+        elif device not in failed and len(failed) + 1 < n_devices:
+            # Never fail the last surviving device: the scenario suite
+            # measures recovery, not extinction.
+            failed.add(device)
+            events.append(DeviceFailure(time_s, device))
+    return EventSchedule(events)
+
+
+class SchedulePlayer:
+    """Replays an :class:`EventSchedule` against a consumer's moving clock.
+
+    Owns the cursor and the bookkeeping every consumer needs identically:
+    which slowdown/spike windows are active (and when they expire), which
+    devices have failed, and how the active factors combine into one
+    multiplicative scale per device.  The adaptive runtime and the
+    asynchronous federated loop both drive their simulators from this
+    single implementation, so event semantics cannot drift between them.
+    Perturbations targeting an already-failed device are dropped, as are
+    duplicate failures.
+    """
+
+    def __init__(self, schedule: EventSchedule | None):
+        self._pending: list[Event] = list(schedule) if schedule is not None else []
+        self._active: list[tuple[float, int, float]] = []  # (end, device, factor)
+        self.failed: set[int] = set()
+
+    def due(self, now: float) -> list[Event]:
+        """Pop and return the events whose time has come, in order.
+
+        Slowdown/spike windows and failures are recorded internally;
+        consumers act on the returned events (validation, migration,
+        joins) and then refresh their simulators from :meth:`scales`.
+        """
+        fired: list[Event] = []
+        while self._pending and self._pending[0].time_s <= now:
+            event = self._pending.pop(0)
+            if isinstance(event, (DeviceSlowdown, LoadSpike)):
+                if event.device in self.failed:
+                    continue  # perturbing a corpse is a no-op
+                duration = event.duration_s
+                end = float("inf") if duration is None else event.time_s + duration
+                self._active.append((end, event.device, event.factor))
+            elif isinstance(event, DeviceFailure):
+                if event.device in self.failed:
+                    continue
+                self.failed.add(event.device)
+            fired.append(event)
+        return fired
+
+    def scales(self, now: float) -> dict[int, float]:
+        """Combined slowdown factor per device at ``now`` (expired
+        windows dropped; absent devices are at 1.0)."""
+        self._active = [(end, d, f) for (end, d, f) in self._active if end > now]
+        scales: dict[int, float] = {}
+        for _, d, f in self._active:
+            scales[d] = scales.get(d, 1.0) * f
+        return scales
+
+    @property
+    def has_active(self) -> bool:
+        return bool(self._active)
+
+
+class EventClock:
+    """Minimal discrete-event clock: push timestamped items, pop in order.
+
+    Ties break by insertion order, which keeps every consumer (adaptive
+    runtime, asynchronous federated rounds) deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, object]] = []
+        self._seq = 0
+
+    def push(self, time_s: float, item) -> None:
+        if time_s < 0:
+            raise ConfigError(f"event time must be non-negative, got {time_s}")
+        heapq.heappush(self._heap, (time_s, self._seq, item))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, object]:
+        if not self._heap:
+            raise ConfigError("event clock is empty")
+        time_s, _, item = heapq.heappop(self._heap)
+        return time_s, item
+
+    def peek_time(self) -> float | None:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

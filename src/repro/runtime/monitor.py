@@ -1,0 +1,102 @@
+"""Per-device drift detection and online cost-model refinement.
+
+The placement optimizer prices each (block, device) pair once, up front,
+with the device's nominal platform descriptor.  Real devices drift: they
+throttle, pick up co-located load, or were simply mis-modelled.
+perf4sight's remedy -- refine the cost model online against measurements
+-- maps here to one scalar per device: the EWMA of the ratio between
+*observed* step seconds (what the device ledger actually charged) and
+*predicted* step seconds (what the cost model priced for that block on
+that device).  A coefficient of ``1.0`` means the model is faithful; a
+device whose coefficient strays beyond ``drift_threshold`` is *drifted*,
+and re-running the placement search with coefficient-scaled step times
+prices candidate placements against the cluster as it is now, not as it
+was at planning time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class DriftMonitor:
+    """Tracks observed-vs-predicted step-time ratios per device."""
+
+    def __init__(
+        self,
+        n_devices: int,
+        alpha: float = 0.5,
+        drift_threshold: float = 0.25,
+        min_samples: int = 2,
+    ):
+        if n_devices < 1:
+            raise ConfigError("need at least one device")
+        if not 0 < alpha <= 1:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        if drift_threshold <= 0:
+            raise ConfigError("drift threshold must be positive")
+        if min_samples < 1:
+            raise ConfigError("min_samples must be >= 1")
+        self.alpha = float(alpha)
+        self.drift_threshold = float(drift_threshold)
+        self.min_samples = int(min_samples)
+        self._coefficient = [1.0] * n_devices
+        self._n_observed = [0] * n_devices
+
+    # -- observation -------------------------------------------------------
+    def ensure_device(self, device: int) -> None:
+        """Grow state for devices that joined after construction."""
+        if device < 0:
+            raise ConfigError(f"device must be non-negative, got {device}")
+        while device >= len(self._coefficient):
+            self._coefficient.append(1.0)
+            self._n_observed.append(0)
+
+    def observe(self, device: int, predicted_s: float, observed_s: float) -> None:
+        """Feed one measured step: ledger charge vs cost-model price."""
+        self.ensure_device(device)
+        if predicted_s <= 0:
+            raise ConfigError("predicted step time must be positive")
+        if observed_s < 0:
+            raise ConfigError("observed step time must be non-negative")
+        ratio = observed_s / predicted_s
+        if self._n_observed[device] == 0:
+            self._coefficient[device] = ratio
+        else:
+            c = self._coefficient[device]
+            self._coefficient[device] = (1 - self.alpha) * c + self.alpha * ratio
+        self._n_observed[device] += 1
+
+    # -- queries -----------------------------------------------------------
+    def n_observed(self, device: int) -> int:
+        self.ensure_device(device)
+        return self._n_observed[device]
+
+    def coefficient(self, device: int) -> float:
+        """Refined cost multiplier for a device (``1.0`` when unobserved).
+
+        A device with zero observed steps has given no evidence of
+        drift, so the nominal model stands.
+        """
+        self.ensure_device(device)
+        return self._coefficient[device]
+
+    def coefficients(self) -> list[float]:
+        return list(self._coefficient)
+
+    def drifted(self, device: int) -> bool:
+        """True when the device has demonstrably departed from the model.
+
+        Requires ``min_samples`` observations: a single noisy step (or no
+        steps at all) never triggers a re-placement.
+        """
+        self.ensure_device(device)
+        if self._n_observed[device] < self.min_samples:
+            return False
+        return abs(self._coefficient[device] - 1.0) > self.drift_threshold
+
+    def drifted_devices(self) -> list[int]:
+        return [d for d in range(len(self._coefficient)) if self.drifted(d)]
+
+    def any_drift(self) -> bool:
+        return any(self.drifted(d) for d in range(len(self._coefficient)))

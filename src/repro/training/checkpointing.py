@@ -1,18 +1,22 @@
-"""Gradient-checkpointing baseline (paper Section 7, related work).
+"""Checkpointing: the gradient-checkpointing baseline and state snapshots.
 
-Checkpointing trades compute for memory: only checkpoint-boundary
-activations are retained during the forward pass; each segment's interior
-activations are *recomputed* during backward.  The paper cites this
-[Chen et al. 2016] as a BP-side memory optimization that lengthens
-training; this implementation makes the trade-off measurable against
-NeuroFlux.
+Two related concerns live here:
 
-Segments are the model's local-layer stages; activations are retained only
-at segment boundaries, and each segment re-runs its forward (training
-mode) just before its backward.
+* :class:`GradientCheckpointTrainer` -- the paper's Section 7 baseline
+  that trades compute for memory by recomputing segment interiors during
+  backward;
+* block *state* checkpointing -- bit-exact snapshot / serialize /
+  restore of a partition block's weights, auxiliary heads and optimizer
+  state.  This is the substrate live block migration and fault-tolerant
+  recovery (:mod:`repro.runtime.migrate`) rely on: a restored block must
+  be indistinguishable from the original, down to the last bit, or a
+  migrated run would silently diverge from the unperturbed one.
 """
 
 from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -187,3 +191,131 @@ class GradientCheckpointTrainer:
         result.sim_time_s = sim.elapsed
         result.ledger = sim.ledger
         return result
+
+
+# -- block state checkpointing (migration / fault tolerance) ----------------
+
+#: Serialized key layout: ``<section><index>:<name>``.  Parameter names may
+#: contain dots (``layers.0.weight``) but never colons, so the first colon
+#: splits unambiguously.
+_SECTIONS = ("layer", "aux", "opt")
+
+
+@dataclass
+class BlockCheckpoint:
+    """Bit-exact snapshot of one partition block's training state.
+
+    One state dict per member layer, per auxiliary head, and per
+    optimizer, in block order.  ``nbytes`` is the in-memory payload size
+    (what a migration must move); the serialized form adds a small
+    container overhead on top.
+    """
+
+    layer_states: list[dict[str, np.ndarray]] = field(default_factory=list)
+    aux_states: list[dict[str, np.ndarray]] = field(default_factory=list)
+    optimizer_states: list[dict[str, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            arr.nbytes
+            for states in (self.layer_states, self.aux_states, self.optimizer_states)
+            for state in states
+            for arr in state.values()
+        )
+
+
+def checkpoint_block(
+    modules: list, aux_heads: list, optimizers: list
+) -> BlockCheckpoint:
+    """Snapshot the layers, heads and optimizers of one block."""
+    if not (len(modules) == len(aux_heads) == len(optimizers)):
+        raise ConfigError(
+            "modules, aux_heads and optimizers must align: "
+            f"{len(modules)}/{len(aux_heads)}/{len(optimizers)}"
+        )
+    return BlockCheckpoint(
+        layer_states=[m.state_dict() for m in modules],
+        aux_states=[a.state_dict() for a in aux_heads],
+        optimizer_states=[o.state_dict() for o in optimizers],
+    )
+
+
+def restore_block(
+    ckpt: BlockCheckpoint, modules: list, aux_heads: list, optimizers: list
+) -> None:
+    """Load a :class:`BlockCheckpoint` back into live layers/heads/optimizers."""
+    if not (
+        len(ckpt.layer_states) == len(modules)
+        and len(ckpt.aux_states) == len(aux_heads)
+        and len(ckpt.optimizer_states) == len(optimizers)
+    ):
+        raise ConfigError(
+            f"checkpoint shape {len(ckpt.layer_states)}/{len(ckpt.aux_states)}/"
+            f"{len(ckpt.optimizer_states)} does not match block "
+            f"{len(modules)}/{len(aux_heads)}/{len(optimizers)}"
+        )
+    for module, state in zip(modules, ckpt.layer_states):
+        module.load_state_dict(state)
+    for aux, state in zip(aux_heads, ckpt.aux_states):
+        aux.load_state_dict(state)
+    for opt, state in zip(optimizers, ckpt.optimizer_states):
+        opt.load_state_dict(state)
+
+
+def serialize_checkpoint(ckpt: BlockCheckpoint) -> bytes:
+    """Serialize a checkpoint to bytes (the wire format migration ships).
+
+    Uses the ``.npz`` container, which preserves dtype, shape and every
+    bit of the payload; :func:`deserialize_checkpoint` inverts it exactly.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for section, states in zip(
+        _SECTIONS, (ckpt.layer_states, ckpt.aux_states, ckpt.optimizer_states)
+    ):
+        # Record the unit count even when a unit's state is empty (plain
+        # SGD), so the round trip restores the exact list structure.
+        arrays[f"{section}_count"] = np.array(len(states), dtype=np.int64)
+        for i, state in enumerate(states):
+            for name, arr in state.items():
+                if ":" in name:
+                    raise ConfigError(
+                        f"state name {name!r} contains ':' (reserved as the "
+                        "checkpoint key separator)"
+                    )
+                arrays[f"{section}{i}:{name}"] = arr
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    return buf.getvalue()
+
+
+def deserialize_checkpoint(data: bytes) -> BlockCheckpoint:
+    """Inverse of :func:`serialize_checkpoint` (bit-identical payload)."""
+    with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+        counts = {}
+        sections: dict[str, list[dict[str, np.ndarray]]] = {}
+        for section in _SECTIONS:
+            key = f"{section}_count"
+            if key not in npz:
+                raise ConfigError(f"corrupt checkpoint: missing {key!r}")
+            counts[section] = int(npz[key])
+            sections[section] = [{} for _ in range(counts[section])]
+        for key in npz.files:
+            if ":" not in key:  # the section-count headers
+                continue
+            head, _, name = key.partition(":")
+            section = head.rstrip("0123456789")
+            try:
+                index = int(head[len(section):])
+            except ValueError:
+                raise ConfigError(
+                    f"corrupt checkpoint: unexpected key {key!r}"
+                ) from None
+            if section not in sections or not 0 <= index < counts[section]:
+                raise ConfigError(f"corrupt checkpoint: unexpected key {key!r}")
+            sections[section][index][name] = npz[key]
+    return BlockCheckpoint(
+        layer_states=sections["layer"],
+        aux_states=sections["aux"],
+        optimizer_states=sections["opt"],
+    )

@@ -133,6 +133,81 @@ class TestParallel:
         assert main(["parallel", "--budget-mb", "0.01"]) == 2
         assert "cannot fit" in capsys.readouterr().err
 
+    def test_parallel_help_documents_runtime_flags(self, capsys):
+        from repro.cli import build_parallel_parser
+
+        help_text = build_parallel_parser().format_help()
+        assert "--events" in help_text
+        assert "--report-json" in help_text
+        assert "--runtime" in help_text
+        assert "fault" in help_text
+
+    def test_parallel_events_and_report_json(self, capsys, tmp_path):
+        """--events loads a fault schedule, --report-json dumps the run."""
+        import json
+
+        events_path = tmp_path / "events.json"
+        events_path.write_text(
+            json.dumps(
+                {
+                    "events": [
+                        {
+                            "type": "slowdown",
+                            "time_s": 0.05,
+                            "device": 3,
+                            "factor": 4.0,
+                        }
+                    ]
+                }
+            )
+        )
+        report_path = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "parallel",
+                    "--epochs",
+                    "1",
+                    "--events",
+                    str(events_path),
+                    "--report-json",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "runtime: adapt=on events=1" in out
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == 1
+        assert report["runtime"]["events_applied"][0]["type"] == "slowdown"
+        assert report["makespan_s"] > 0
+        assert len(report["device_ledgers"]) == 4
+
+    def test_parallel_runtime_flag_without_events(self, capsys, tmp_path):
+        report_path = tmp_path / "run.json"
+        assert (
+            main(
+                ["parallel", "--epochs", "1", "--runtime",
+                 "--report-json", str(report_path)]
+            )
+            == 0
+        )
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["runtime"]["adapt"] is True
+        assert report["runtime"]["events_applied"] == []
+
+    def test_parallel_bad_events_file_fails_fast(self, capsys, tmp_path):
+        """A missing or malformed schedule errors out before training."""
+        assert main(["parallel", "--events", str(tmp_path / "nope.json")]) == 2
+        assert "event schedule" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"events": [{"type": "meteor", "time_s": 1}]}')
+        assert main(["parallel", "--events", str(bad)]) == 2
+        assert "unknown event type" in capsys.readouterr().err
+
 
 class TestBench:
     def test_bench_quick_runs_and_writes_json(self, capsys, tmp_path):

@@ -134,3 +134,123 @@ class TestFederatedNeuroFlux:
     def test_requires_clients(self, tiny_dataset):
         with pytest.raises(ConfigError):
             FederatedNeuroFlux("vgg11", [], tiny_dataset)
+
+
+def _make_fed(seed=0, platforms=("nano", "agx-orin")):
+    from repro.hw.platforms import get_platform
+
+    spec = dataset_spec(
+        "cifar10", num_classes=4, image_hw=(16, 16), noise_std=0.4, seed=11
+    )
+    spec = replace(spec, n_train=180, n_val=40, n_test=60)
+    global_data = spec.materialize()
+    shards = shard_dataset(global_data, len(platforms))
+    clients = []
+    for i, ((x, y), name) in enumerate(zip(shards, platforms)):
+        shard = replace(spec, n_train=len(x)).materialize()
+        shard.x_train, shard.y_train = x, y
+        clients.append(
+            FederatedClient(
+                client_id=i,
+                data=shard,
+                memory_budget=12 * MB,
+                platform=get_platform(name),
+            )
+        )
+    return FederatedNeuroFlux(
+        model_name="vgg11",
+        clients=clients,
+        eval_data=global_data,
+        model_kwargs=dict(num_classes=4, input_hw=(16, 16), width_multiplier=0.125),
+        config=NeuroFluxConfig(batch_limit=32, seed=seed),
+    )
+
+
+class TestAsyncFederated:
+    """Bounded-staleness asynchronous rounds (no synchronous barrier)."""
+
+    @pytest.fixture(scope="class")
+    def async_result(self):
+        fed = _make_fed()
+        return fed, fed.run_async(rounds=2, local_epochs=1, max_staleness=2)
+
+    def test_applies_updates_in_event_clock_order(self, async_result):
+        _, result = async_result
+        assert result.n_applied > 0
+        times = [u.time_s for u in result.applied]
+        assert times == sorted(times)
+        assert result.total_sim_time_s == pytest.approx(max(times))
+
+    def test_staleness_is_bounded(self, async_result):
+        _, result = async_result
+        assert all(0 <= u.staleness <= 2 for u in result.applied)
+        # Mixing weight decays with staleness.
+        for u in result.applied:
+            assert u.mix_weight == pytest.approx(0.5 / (1 + u.staleness))
+
+    def test_fast_client_does_not_wait_for_straggler(self, async_result):
+        """The first applied update lands at the *fast* client's pace --
+        before the straggler (nano) has even finished one round."""
+        fed, result = async_result
+        nano_time = fed.cluster[0].sim.elapsed
+        assert result.applied[0].time_s < nano_time / 2
+
+    def test_async_wall_clock_no_worse_than_sync(self, async_result):
+        _, result = async_result
+        sync = _make_fed().run(rounds=2, local_epochs=1)
+        assert result.total_sim_time_s <= sync.total_sim_time_s * (1 + 1e-9)
+
+    def test_model_still_learns(self, async_result):
+        _, result = async_result
+        assert result.final_accuracy > 0.3
+
+    def test_stale_updates_rejected_when_bound_is_zero(self):
+        """max_staleness=0 admits only updates trained against the very
+        latest global version -- concurrent clients must see rejections."""
+        fed = _make_fed(platforms=("nano", "agx-orin", "agx-orin"))
+        result = fed.run_async(rounds=2, local_epochs=1, max_staleness=0)
+        assert result.n_rejected > 0
+        assert all(u.staleness == 0 for u in result.applied)
+
+    def test_duration_cap_limits_straggler_rounds(self):
+        """Under a wall-clock budget the fast device contributes more
+        rounds than the throttled one (straggler mitigation)."""
+        from repro.runtime import DeviceSlowdown, EventSchedule
+
+        fed = _make_fed(platforms=("agx-orin", "agx-orin"))
+        probe = _make_fed(platforms=("agx-orin",))
+        one_round = probe.run(rounds=1, local_epochs=1).total_sim_time_s
+        events = EventSchedule([DeviceSlowdown(time_s=0.0, device=0, factor=4.0)])
+        result = fed.run_async(duration_s=3.2 * one_round, events=events)
+        by_client = {0: 0, 1: 0}
+        for u in result.applied:
+            by_client[u.client_id] += 1
+        assert by_client[1] > by_client[0]
+        # The throttled client's ledger really ran slower per round.
+        assert result.client_times_s[0] > 0
+
+    def test_failure_drops_client_and_in_flight_update(self):
+        from repro.runtime import DeviceFailure, EventSchedule
+
+        events = EventSchedule([DeviceFailure(time_s=1e-6, device=0)])
+        fed = _make_fed()
+        result = fed.run_async(rounds=2, local_epochs=1, events=events)
+        assert result.dropped_clients == [0]
+        assert all(u.client_id != 0 for u in result.applied)
+
+    def test_join_events_rejected(self):
+        from repro.runtime import DeviceJoin, EventSchedule
+
+        fed = _make_fed()
+        events = EventSchedule([DeviceJoin(time_s=0.0, platform="nano")])
+        with pytest.raises(ConfigError):
+            fed.run_async(rounds=1, events=events)
+
+    def test_needs_a_stop_condition(self):
+        fed = _make_fed()
+        with pytest.raises(ConfigError):
+            fed.run_async()
+        with pytest.raises(ConfigError):
+            fed.run_async(rounds=0)
+        with pytest.raises(ConfigError):
+            fed.run_async(rounds=1, base_mix=0.0)

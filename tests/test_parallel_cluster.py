@@ -57,6 +57,36 @@ class TestCluster:
         with pytest.raises(ConfigError):
             Cluster.from_names(["tpu-v9"])
 
+    def test_duplicate_device_object_rejected(self):
+        """The same Device twice would share one ledger under two ids."""
+        device = Device(platform=AGX_ORIN)
+        with pytest.raises(ConfigError, match="duplicate device"):
+            Cluster([device, device])
+
+    def test_link_referencing_unknown_device_rejected(self):
+        devices = [Device(platform=AGX_ORIN), Device(platform=JETSON_NANO)]
+        with pytest.raises(ConfigError, match="unknown device"):
+            Cluster(devices, links={(0, 2): WIFI_AC})
+        devices = [Device(platform=AGX_ORIN), Device(platform=JETSON_NANO)]
+        with pytest.raises(ConfigError, match="unknown device"):
+            Cluster(devices, links={(-1, 0): WIFI_AC})
+
+    def test_self_link_rejected(self):
+        devices = [Device(platform=AGX_ORIN), Device(platform=JETSON_NANO)]
+        with pytest.raises(ConfigError, match="itself"):
+            Cluster(devices, links={(1, 1): WIFI_AC})
+
+    def test_add_device_elastic_join(self):
+        cluster = Cluster.from_names(["nano", "agx-orin"])
+        newcomer = Device(platform=AGX_ORIN, memory_budget=8 * MB)
+        index = cluster.add_device(newcomer)
+        assert index == 2 and len(cluster) == 3
+        assert cluster[2] is newcomer and newcomer.index == 2
+        # Transfers to the newcomer use the default link.
+        assert cluster.transfer_time(0, 2, 1e6) > 0
+        with pytest.raises(ConfigError):
+            cluster.add_device(newcomer)
+
     def test_same_device_transfer_is_free(self):
         cluster = Cluster.from_names(["nano", "agx-orin"])
         assert cluster.link_between(0, 0) is None

@@ -1,0 +1,183 @@
+"""Tests for runtime event schedules and the simulator perturbation hook."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.platforms import AGX_ORIN
+from repro.hw.simulator import ExecutionSimulator
+from repro.runtime import (
+    DeviceFailure,
+    DeviceJoin,
+    DeviceSlowdown,
+    EventClock,
+    EventSchedule,
+    LoadSpike,
+    random_schedule,
+)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceSlowdown(time_s=-1.0, device=0, factor=2.0)
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceFailure(time_s=0.0, device=-1)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceSlowdown(time_s=0.0, device=0, factor=0.0)
+        with pytest.raises(ConfigError):
+            LoadSpike(time_s=0.0, device=0, factor=-2.0, duration_s=1.0)
+
+    def test_spike_needs_positive_duration(self):
+        with pytest.raises(ConfigError):
+            LoadSpike(time_s=0.0, device=0, factor=2.0, duration_s=0.0)
+
+    def test_join_needs_platform(self):
+        with pytest.raises(ConfigError):
+            DeviceJoin(time_s=0.0, platform="")
+
+    def test_schedule_rejects_non_events(self):
+        with pytest.raises(ConfigError):
+            EventSchedule(["not-an-event"])
+
+
+class TestEventSchedule:
+    def test_sorted_by_time(self):
+        sched = EventSchedule(
+            [
+                DeviceFailure(time_s=5.0, device=1),
+                DeviceSlowdown(time_s=1.0, device=0, factor=2.0),
+            ]
+        )
+        assert [e.time_s for e in sched] == [1.0, 5.0]
+
+    def test_json_round_trip(self):
+        sched = EventSchedule(
+            [
+                DeviceSlowdown(time_s=1.0, device=0, factor=2.0),
+                LoadSpike(time_s=2.0, device=1, factor=3.0, duration_s=0.5),
+                DeviceFailure(time_s=3.0, device=2),
+                DeviceJoin(time_s=4.0, platform="xavier-nx", memory_budget=8 * 2**20),
+            ]
+        )
+        assert EventSchedule.from_json_dict(sched.to_json_dict()) == sched
+
+    def test_file_round_trip(self, tmp_path):
+        sched = EventSchedule([DeviceFailure(time_s=1.0, device=3)])
+        path = tmp_path / "events.json"
+        sched.save(str(path))
+        assert EventSchedule.load(str(path)) == sched
+
+    def test_load_missing_file_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            EventSchedule.load(str(tmp_path / "nope.json"))
+
+    def test_load_bad_json_raises_config_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError):
+            EventSchedule.load(str(path))
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(ConfigError):
+            EventSchedule.from_json_dict(
+                {"events": [{"type": "meteor-strike", "time_s": 1.0}]}
+            )
+
+    def test_bad_event_fields_rejected(self):
+        with pytest.raises(ConfigError):
+            EventSchedule.from_json_dict(
+                {"events": [{"type": "failure", "time_s": 1.0, "banana": 2}]}
+            )
+
+
+class TestRandomSchedule:
+    def test_deterministic(self):
+        a = random_schedule(seed=7, n_devices=4, horizon_s=10.0, n_events=5)
+        b = random_schedule(seed=7, n_devices=4, horizon_s=10.0, n_events=5)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        a = random_schedule(seed=7, n_devices=4, horizon_s=10.0, n_events=5)
+        b = random_schedule(seed=8, n_devices=4, horizon_s=10.0, n_events=5)
+        assert a != b
+
+    def test_never_fails_every_device(self):
+        sched = random_schedule(
+            seed=3, n_devices=2, horizon_s=10.0, n_events=20, kinds=("failure",)
+        )
+        failed = {e.device for e in sched if isinstance(e, DeviceFailure)}
+        assert len(failed) < 2
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            random_schedule(seed=0, n_devices=2, horizon_s=1.0, kinds=("join",))
+
+
+class TestEventClock:
+    def test_pops_in_time_order(self):
+        clock = EventClock()
+        clock.push(3.0, "c")
+        clock.push(1.0, "a")
+        clock.push(2.0, "b")
+        assert [clock.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        clock = EventClock()
+        clock.push(1.0, "first")
+        clock.push(1.0, "second")
+        assert clock.pop()[1] == "first"
+        assert clock.pop()[1] == "second"
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(ConfigError):
+            EventClock().pop()
+
+    def test_peek(self):
+        clock = EventClock()
+        assert clock.peek_time() is None
+        clock.push(2.5, "x")
+        assert clock.peek_time() == 2.5
+        assert len(clock) == 1
+
+
+class TestPerturbationHook:
+    def test_default_scale_is_identity(self):
+        a = ExecutionSimulator(AGX_ORIN)
+        b = ExecutionSimulator(AGX_ORIN)
+        b.perturb(1.0)
+        ta = a.add_training_step(1e9, 1e6, 10)
+        tb = b.add_training_step(1e9, 1e6, 10)
+        assert ta == tb
+
+    def test_slowdown_scales_local_charges(self):
+        nominal = ExecutionSimulator(AGX_ORIN)
+        slowed = ExecutionSimulator(AGX_ORIN)
+        slowed.perturb(3.0)
+        t0 = nominal.add_training_step(1e9, 1e6, 10)
+        t1 = slowed.add_training_step(1e9, 1e6, 10)
+        assert t1 == pytest.approx(3.0 * t0)
+        assert slowed.ledger.compute == pytest.approx(3.0 * nominal.ledger.compute)
+        t0 = nominal.add_cache_read(1e6)
+        t1 = slowed.add_cache_read(1e6)
+        assert t1 == pytest.approx(3.0 * t0)
+
+    def test_communication_is_not_scaled(self):
+        from repro.hw.platforms import GIGABIT_ETHERNET
+
+        nominal = ExecutionSimulator(AGX_ORIN)
+        slowed = ExecutionSimulator(AGX_ORIN)
+        slowed.perturb(3.0)
+        assert slowed.add_communication(1e6, GIGABIT_ETHERNET) == pytest.approx(
+            nominal.add_communication(1e6, GIGABIT_ETHERNET)
+        )
+
+    def test_nonpositive_scale_rejected(self):
+        sim = ExecutionSimulator(AGX_ORIN)
+        with pytest.raises(ConfigError):
+            sim.perturb(0.0)
+        with pytest.raises(ConfigError):
+            sim.perturb(-1.0)

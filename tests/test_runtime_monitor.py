@@ -1,0 +1,87 @@
+"""Tests for the drift monitor (incl. the spurious-replacement edge cases)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import DriftMonitor
+
+
+class TestCoefficients:
+    def test_unobserved_device_has_unit_coefficient(self):
+        monitor = DriftMonitor(n_devices=3)
+        assert monitor.coefficient(1) == 1.0
+        assert monitor.coefficients() == [1.0, 1.0, 1.0]
+
+    def test_first_observation_sets_ratio(self):
+        monitor = DriftMonitor(n_devices=1)
+        monitor.observe(0, predicted_s=1.0, observed_s=3.0)
+        assert monitor.coefficient(0) == pytest.approx(3.0)
+
+    def test_ewma_converges_to_persistent_ratio(self):
+        monitor = DriftMonitor(n_devices=1, alpha=0.5)
+        for _ in range(20):
+            monitor.observe(0, predicted_s=1.0, observed_s=4.0)
+        assert monitor.coefficient(0) == pytest.approx(4.0)
+
+    def test_ensure_device_grows_state(self):
+        monitor = DriftMonitor(n_devices=1)
+        monitor.observe(5, predicted_s=1.0, observed_s=1.0)
+        assert len(monitor.coefficients()) == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DriftMonitor(n_devices=0)
+        with pytest.raises(ConfigError):
+            DriftMonitor(n_devices=1, alpha=0.0)
+        monitor = DriftMonitor(n_devices=1)
+        with pytest.raises(ConfigError):
+            monitor.observe(0, predicted_s=0.0, observed_s=1.0)
+        with pytest.raises(ConfigError):
+            monitor.observe(0, predicted_s=1.0, observed_s=-1.0)
+
+
+class TestDriftDetection:
+    def test_zero_observed_steps_is_not_drift(self):
+        """A device with no measurements has given no evidence: never
+        drifted, never a re-placement trigger."""
+        monitor = DriftMonitor(n_devices=4)
+        assert not monitor.any_drift()
+        assert monitor.drifted_devices() == []
+
+    def test_faithful_device_never_drifts(self):
+        """Observed == predicted for the whole run: the coefficient stays
+        pinned at 1.0 and no spurious drift fires."""
+        monitor = DriftMonitor(n_devices=1, drift_threshold=0.25)
+        for _ in range(100):
+            monitor.observe(0, predicted_s=0.02, observed_s=0.02)
+        assert monitor.coefficient(0) == pytest.approx(1.0)
+        assert not monitor.drifted(0)
+
+    def test_small_noise_stays_below_threshold(self):
+        monitor = DriftMonitor(n_devices=1, drift_threshold=0.25, alpha=0.3)
+        for i in range(50):
+            jitter = 1.0 + (0.05 if i % 2 else -0.05)
+            monitor.observe(0, predicted_s=1.0, observed_s=jitter)
+        assert not monitor.drifted(0)
+
+    def test_single_sample_never_triggers(self):
+        """min_samples gates detection: one wild measurement is not drift."""
+        monitor = DriftMonitor(n_devices=1, min_samples=2)
+        monitor.observe(0, predicted_s=1.0, observed_s=10.0)
+        assert not monitor.drifted(0)
+        monitor.observe(0, predicted_s=1.0, observed_s=10.0)
+        assert monitor.drifted(0)
+
+    def test_sustained_slowdown_detected(self):
+        monitor = DriftMonitor(n_devices=2, drift_threshold=0.25)
+        for _ in range(5):
+            monitor.observe(0, predicted_s=1.0, observed_s=4.0)
+            monitor.observe(1, predicted_s=1.0, observed_s=1.0)
+        assert monitor.drifted_devices() == [0]
+
+    def test_speedup_is_drift_too(self):
+        """A device running far faster than modelled is also a mis-model."""
+        monitor = DriftMonitor(n_devices=1, drift_threshold=0.25)
+        for _ in range(5):
+            monitor.observe(0, predicted_s=1.0, observed_s=0.25)
+        assert monitor.drifted(0)
