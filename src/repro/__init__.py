@@ -28,6 +28,9 @@ Subpackages:
 * :mod:`repro.evalsim` -- inference-throughput evaluation.
 * :mod:`repro.serving` -- early-exit inference serving simulator.
 * :mod:`repro.parallel` -- multi-device pipeline-parallel training.
+* :mod:`repro.api` -- unified job API: declarative :class:`JobSpec`,
+  backend registry behind one ``run(spec)`` entry point, unified
+  callback and report protocols (``repro run <spec.json>`` on the CLI).
 """
 
 from repro.core import NeuroFlux, NeuroFluxConfig, NeuroFluxReport

@@ -1,0 +1,304 @@
+"""Built-in backends: the five subsystems behind one protocol.
+
+Each backend materializes a :class:`~repro.api.spec.JobSpec` into live
+objects (model, data, system, cluster, runtime) and adapts one existing
+subsystem entry point behind ``Backend.run(spec, callbacks) -> Report``:
+
+========================  =====================================================
+``sequential``            :meth:`NeuroFlux.run` (or the bit-identical
+                          cluster-sequential schedule when a ``cluster``
+                          section is present)
+``pipelined``             :meth:`NeuroFlux.train_parallel(schedule="pipelined")`
+``federated``             :meth:`FederatedNeuroFlux.run` (synchronous FedAvg)
+``federated-async``       :meth:`FederatedNeuroFlux.run_async` (bounded
+                          staleness)
+``serving``               train with :meth:`NeuroFlux.run`, then
+                          :func:`~repro.serving.simulate_serving`
+========================  =====================================================
+
+The legacy entry points stay supported -- they and these backends drive
+the *same* engine code, which is what the bit-identity regression tests
+pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.api.registry import Backend, JobContext, register_backend
+from repro.api.spec import JobSpec
+from repro.errors import SpecError
+
+
+# --------------------------------------------------------------------- #
+# materializers (spec section -> live object)                           #
+# --------------------------------------------------------------------- #
+def build_data_from_spec(spec: JobSpec):
+    """Materialize the ``data`` section into a synthetic dataset."""
+    from repro.data.registry import dataset_spec
+
+    d = spec.data
+    return dataset_spec(
+        d.dataset,
+        scale=d.scale,
+        image_hw=tuple(d.image_hw),
+        num_classes=d.num_classes,
+        noise_std=d.noise_std,
+        max_shift=d.max_shift,
+        seed=d.seed,
+    ).materialize()
+
+
+def build_model_from_spec(spec: JobSpec):
+    """Materialize the ``model`` section into an untrained ConvNet."""
+    from repro.models.zoo import build_model
+
+    m = spec.model
+    return build_model(
+        m.name,
+        num_classes=m.num_classes,
+        input_hw=tuple(m.input_hw),
+        width_multiplier=m.width_multiplier,
+        seed=m.seed,
+        fused=m.fused,
+    )
+
+
+def build_system_from_spec(spec: JobSpec):
+    """Model + data + budgets -> a ready :class:`NeuroFlux` system."""
+    from repro.core.controller import NeuroFlux
+    from repro.hw.platforms import get_platform
+
+    return NeuroFlux(
+        build_model_from_spec(spec),
+        build_data_from_spec(spec),
+        memory_budget=spec.budgets.memory_bytes,
+        platform=get_platform(spec.platform),
+        config=spec.neuroflux,
+    )
+
+
+def build_cluster_from_spec(spec: JobSpec):
+    """Materialize the ``cluster`` section into a simulated cluster."""
+    from repro.parallel.cluster import Cluster
+
+    c = spec.cluster
+    return Cluster.from_names(
+        [d.platform for d in c.devices],
+        memory_budget=[d.memory_budget for d in c.devices],
+    )
+
+
+def build_runtime_from_spec(spec: JobSpec):
+    """Materialize the ``runtime`` section (or ``None``)."""
+    if spec.runtime is None:
+        return None
+    from repro.runtime import AdaptiveRuntime, EventSchedule
+
+    r = spec.runtime
+    events = None
+    if r.events is not None:
+        events = EventSchedule.from_json_dict(r.events)
+    elif r.events_file is not None:
+        events = EventSchedule.load(r.events_file)
+    return AdaptiveRuntime(
+        events=events,
+        adapt=r.adapt,
+        drift_threshold=r.drift_threshold,
+        ewma_alpha=r.ewma_alpha,
+        min_samples=r.min_samples,
+        check_every=r.check_every,
+        checkpoint_every=r.checkpoint_every,
+        improvement_margin=r.improvement_margin,
+        migration_safety=r.migration_safety,
+        cooldown_s=r.cooldown_s,
+        stability_tol=r.stability_tol,
+        idle_decay=r.idle_decay,
+    )
+
+
+# --------------------------------------------------------------------- #
+# training backends                                                     #
+# --------------------------------------------------------------------- #
+class _TrainingBackend(Backend):
+    """Shared adapter for the sequential and pipelined schedules."""
+
+    schedule = "sequential"
+
+    def prepare(self, spec: JobSpec) -> JobContext:
+        context = JobContext(spec=spec, backend=self.name)
+        context.system = build_system_from_spec(spec)
+        if spec.cluster is not None:
+            context.cluster = build_cluster_from_spec(spec)
+            context.runtime = build_runtime_from_spec(spec)
+        return context
+
+    def execute(self, context: JobContext, callbacks):
+        spec: JobSpec = context.spec
+        if context.cluster is None:
+            return context.system.run(
+                spec.budgets.epochs,
+                time_budget_s=spec.budgets.time_budget_s,
+                callbacks=callbacks,
+            )
+        placement = (
+            "round-robin" if spec.cluster.placement == "round-robin" else None
+        )
+        return context.system.train_parallel(
+            context.cluster,
+            epochs=spec.budgets.epochs,
+            schedule=self.schedule,
+            placement=placement,
+            microbatch=spec.cluster.microbatch,
+            queue_capacity=spec.cluster.queue_capacity,
+            time_budget_s=spec.budgets.time_budget_s,
+            runtime=context.runtime,
+            callbacks=callbacks,
+        )
+
+
+@register_backend("sequential")
+class SequentialBackend(_TrainingBackend):
+    """Block-after-block training: one device, or a cluster with the
+    bit-identical ``schedule="sequential"`` accounting."""
+
+    schedule = "sequential"
+
+
+@register_backend("pipelined")
+class PipelinedBackend(_TrainingBackend):
+    """Micro-batch pipeline across the cluster (blocks overlap)."""
+
+    schedule = "pipelined"
+
+
+# --------------------------------------------------------------------- #
+# federated backends                                                    #
+# --------------------------------------------------------------------- #
+class _FederatedBackend(Backend):
+    def prepare(self, spec: JobSpec) -> JobContext:
+        from repro.extensions.federated import (
+            FederatedClient,
+            FederatedNeuroFlux,
+            shard_dataset,
+        )
+        from repro.hw.platforms import get_platform
+
+        fed = spec.federated
+        global_data = build_data_from_spec(spec)
+        shards = shard_dataset(global_data, fed.n_clients)
+        platform_names = fed.platforms or [spec.platform]
+        clients = []
+        for i, (x, y) in enumerate(shards):
+            shard_spec = replace(global_data.spec, n_train=len(x))
+            shard = shard_spec.materialize()
+            shard.x_train, shard.y_train = x, y
+            clients.append(
+                FederatedClient(
+                    client_id=i,
+                    data=shard,
+                    memory_budget=spec.budgets.memory_bytes,
+                    platform=get_platform(platform_names[i % len(platform_names)]),
+                )
+            )
+        m = spec.model
+        system = FederatedNeuroFlux(
+            model_name=m.name,
+            clients=clients,
+            eval_data=global_data,
+            model_kwargs=dict(
+                num_classes=m.num_classes,
+                input_hw=tuple(m.input_hw),
+                width_multiplier=m.width_multiplier,
+                fused=m.fused,
+            ),
+            config=spec.neuroflux,
+            seed=m.seed,
+        )
+        return JobContext(spec=spec, backend=self.name, system=system)
+
+
+@register_backend("federated")
+class FederatedBackend(_FederatedBackend):
+    """Synchronous FedAvg: every round waits for the straggler."""
+
+    def execute(self, context: JobContext, callbacks):
+        fed = context.spec.federated
+        return context.system.run(
+            rounds=fed.rounds,
+            local_epochs=fed.local_epochs,
+            callbacks=callbacks,
+        )
+
+
+@register_backend("federated-async")
+class AsyncFederatedBackend(_FederatedBackend):
+    """Bounded-staleness asynchronous rounds (FedAsync mixing)."""
+
+    def execute(self, context: JobContext, callbacks):
+        fed = context.spec.federated
+        return context.system.run_async(
+            rounds=fed.rounds,
+            local_epochs=fed.local_epochs,
+            max_staleness=fed.max_staleness,
+            base_mix=fed.base_mix,
+            duration_s=fed.duration_s,
+            callbacks=callbacks,
+        )
+
+
+# --------------------------------------------------------------------- #
+# serving backend                                                       #
+# --------------------------------------------------------------------- #
+@register_backend("serving")
+class ServingBackend(Backend):
+    """Train with NeuroFlux, then serve the exit cascade under load."""
+
+    def prepare(self, spec: JobSpec) -> JobContext:
+        from repro.serving import ServerConfig, WorkloadSpec
+
+        context = JobContext(spec=spec, backend=self.name)
+        serving = spec.serving
+        # Validate everything cheap (workload, server knobs, exits)
+        # before training is paid for.
+        context.extras["workload"] = WorkloadSpec(
+            pattern=serving.pattern,
+            arrival_rate=serving.arrival_rate,
+            duration_s=serving.duration_s,
+            seed=spec.neuroflux.seed,
+        )
+        context.extras["server_config"] = ServerConfig(
+            batch_cap=serving.batch_cap,
+            max_wait_s=serving.max_wait_ms / 1e3,
+            queue_depth=serving.queue_depth,
+        )
+        context.system = build_system_from_spec(spec)
+        if serving.exits is not None:
+            n_layers = context.system.model.num_local_layers
+            for i in serving.exits:
+                if not 0 <= i < n_layers:
+                    raise SpecError(
+                        "serving",
+                        f"exits layer {i} out of range "
+                        f"(model has {n_layers} layers)",
+                    )
+        return context
+
+    def execute(self, context: JobContext, callbacks):
+        from repro.serving import simulate_serving
+
+        spec: JobSpec = context.spec
+        serving = spec.serving
+        context.system.run(
+            spec.budgets.epochs,
+            time_budget_s=spec.budgets.time_budget_s,
+            callbacks=callbacks,
+        )
+        return simulate_serving(
+            context.system,
+            context.extras["workload"],
+            exit_layers=serving.exits,
+            threshold=serving.threshold,
+            mode=serving.mode,
+            config=context.extras["server_config"],
+        )

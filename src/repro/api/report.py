@@ -1,0 +1,81 @@
+"""The unified report protocol every backend's result implements.
+
+Training, parallel, federated and serving runs historically produced
+four unrelated result shapes.  They still carry their own
+subsystem-specific fields, but all of them now satisfy one structural
+protocol, so callers of :func:`repro.api.run` can treat any outcome
+uniformly:
+
+* ``summary()`` -- human-readable one-screen text;
+* ``to_json_dict()`` -- a JSON-serializable dict that always contains
+  the :data:`REPORT_SCHEMA_KEYS`;
+* ``wall_clock_s`` -- end-to-end simulated seconds of the run;
+* ``peak_memory_bytes`` -- simulated GPU high-water mark (``0`` where
+  the subsystem does not model residency, e.g. serving);
+* ``ledger_summary()`` -- simulated seconds by cost category, merged
+  across devices, always including a ``"total"`` key.
+
+This module is import-light (no numpy, no subsystem imports) so report
+classes across the tree can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+#: Keys guaranteed present in every report's ``to_json_dict()`` -- the
+#: contract the CI smoke step and downstream tooling assert against.
+REPORT_SCHEMA_KEYS = frozenset(
+    {"schema", "kind", "wall_clock_s", "peak_memory_bytes", "ledger"}
+)
+
+
+@runtime_checkable
+class Report(Protocol):
+    """Structural protocol of every :func:`repro.api.run` result."""
+
+    @property
+    def wall_clock_s(self) -> float: ...
+
+    @property
+    def peak_memory_bytes(self) -> int: ...
+
+    def ledger_summary(self) -> dict[str, float]: ...
+
+    def to_json_dict(self) -> dict: ...
+
+    def summary(self) -> str: ...
+
+
+def merge_ledger_summaries(ledgers: list[dict[str, float]]) -> dict[str, float]:
+    """Key-wise sum of per-device ledger dicts (recomputing ``total``)."""
+    merged: dict[str, float] = {}
+    for ledger in ledgers:
+        for key, value in ledger.items():
+            if key == "total":
+                continue
+            merged[key] = merged.get(key, 0.0) + value
+    merged["total"] = sum(merged.values())
+    return merged
+
+
+def common_json_fields(report: Report, kind: str, schema: int = 1) -> dict:
+    """The shared ``to_json_dict`` head every report starts from."""
+    return {
+        "schema": schema,
+        "kind": kind,
+        "wall_clock_s": json_num(report.wall_clock_s),
+        "peak_memory_bytes": int(report.peak_memory_bytes),
+        "ledger": {k: json_num(v) for k, v in report.ledger_summary().items()},
+    }
+
+
+def json_num(x: float | None) -> float | None:
+    """Round for JSON; NaN becomes null (JSON has no NaN).
+
+    The one number-normalization rule every report's ``to_json_dict``
+    shares -- import this instead of redefining it.
+    """
+    if x is None or x != x:
+        return None
+    return round(float(x), 6)

@@ -1,0 +1,597 @@
+"""JobSpec: one declarative, validated description of any repro job.
+
+A :class:`JobSpec` is composed of typed sections -- ``model``, ``data``,
+``neuroflux`` (wrapping :class:`~repro.core.config.NeuroFluxConfig`),
+``cluster``, ``runtime``, ``federated``, ``serving``, ``budgets`` --
+plus two scalars: the ``backend`` that executes it and the single-device
+``platform``.  Specs are JSON-round-trippable (``from_dict`` /
+``to_dict`` / ``from_json_file``), and every validation failure raises a
+structured :class:`~repro.errors.SpecError` naming the offending
+section.
+
+Defaulting rules:
+
+* the always-present sections (``model``, ``data``, ``neuroflux``,
+  ``budgets``) fall back to their defaults when omitted;
+* *workload* sections (``federated``, ``serving``) are defaulted in when
+  the chosen backend needs them -- their defaults describe a deliberately
+  tiny job;
+* the *hardware* section (``cluster``) is never invented: a backend that
+  needs devices (``pipelined``, or anything with a ``runtime`` section)
+  raises :class:`SpecError` when it is missing.
+
+Cross-section rules (each raises a :class:`SpecError` naming the
+section): ``runtime`` requires ``cluster``; the ``pipelined`` and
+``sequential`` training backends forbid a ``federated`` section; the
+federated backends forbid ``cluster``/``runtime``/``serving`` (clients
+*are* the cluster); the ``serving`` backend forbids
+``cluster``/``runtime``/``federated``.
+
+One spec file can still drive every backend:
+:meth:`JobSpec.with_backend` (the CLI's ``repro run --backend``)
+re-targets a spec, dropping the sections the new backend forbids and
+defaulting the workload sections it needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+
+from repro.core.config import NeuroFluxConfig
+from repro.errors import ConfigError, SpecError
+
+#: Section-presence semantics per built-in backend: ``forbids`` are
+#: dropped by :meth:`JobSpec.with_backend` and rejected by validation;
+#: ``defaults`` are workload sections materialized with their defaults
+#: when absent; ``needs_cluster`` backends refuse to invent hardware.
+BACKEND_SECTION_RULES: dict[str, dict] = {
+    "sequential": {"needs_cluster": False, "forbids": ("federated",), "defaults": ()},
+    "pipelined": {"needs_cluster": True, "forbids": ("federated",), "defaults": ()},
+    "federated": {
+        "needs_cluster": False,
+        "forbids": ("cluster", "runtime", "serving"),
+        "defaults": ("federated",),
+    },
+    "federated-async": {
+        "needs_cluster": False,
+        "forbids": ("cluster", "runtime", "serving"),
+        "defaults": ("federated",),
+    },
+    "serving": {
+        "needs_cluster": False,
+        "forbids": ("cluster", "runtime", "federated"),
+        "defaults": ("serving",),
+    },
+}
+
+#: Fields declared as tuples but arriving as JSON lists.
+_TUPLE_FIELDS = {"input_hw", "image_hw"}
+
+
+# --------------------------------------------------------------------- #
+# sections                                                              #
+# --------------------------------------------------------------------- #
+@dataclass
+class ModelSection:
+    """Which CNN to build (see :mod:`repro.models.zoo`)."""
+
+    _section = "model"
+
+    name: str = "vgg11"
+    num_classes: int = 10
+    input_hw: tuple[int, int] = (32, 32)
+    width_multiplier: float = 1.0
+    seed: int = 0
+    fused: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width_multiplier <= 0:
+            raise SpecError("model", "width_multiplier must be positive")
+        if self.num_classes < 2:
+            raise SpecError("model", "num_classes must be >= 2")
+        if len(tuple(self.input_hw)) != 2:
+            raise SpecError("model", "input_hw must be (height, width)")
+
+
+@dataclass
+class DataSection:
+    """Which dataset preset to materialize (see :mod:`repro.data.registry`)."""
+
+    _section = "data"
+
+    dataset: str = "cifar10"
+    num_classes: int | None = None
+    image_hw: tuple[int, int] = (32, 32)
+    scale: float = 1.0
+    noise_std: float = 0.6
+    max_shift: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise SpecError("data", "scale must be positive")
+        if len(tuple(self.image_hw)) != 2:
+            raise SpecError("data", "image_hw must be (height, width)")
+
+
+@dataclass
+class DeviceSection:
+    """One cluster device: a platform short name and optional budget."""
+
+    platform: str
+    memory_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise SpecError("cluster", "device memory_budget must be positive")
+
+
+def _default_devices() -> list[DeviceSection]:
+    from repro.parallel.cluster import DEFAULT_EDGE_CLUSTER
+
+    return [DeviceSection(platform=name) for name in DEFAULT_EDGE_CLUSTER]
+
+
+@dataclass
+class ClusterSection:
+    """The simulated device fleet and pipeline-stream knobs."""
+
+    _section = "cluster"
+
+    devices: list[DeviceSection] = field(default_factory=_default_devices)
+    placement: str = "optimized"
+    microbatch: int | None = None
+    queue_capacity: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise SpecError("cluster", "a cluster needs at least one device")
+        if self.placement not in ("optimized", "round-robin"):
+            raise SpecError(
+                "cluster",
+                f"unknown placement strategy {self.placement!r} "
+                "(optimized | round-robin)",
+            )
+        if self.microbatch is not None and self.microbatch < 1:
+            raise SpecError("cluster", "microbatch must be >= 1")
+        if self.queue_capacity < 1:
+            raise SpecError("cluster", "queue_capacity must be >= 1")
+
+
+@dataclass
+class RuntimeSection:
+    """The adaptive cluster runtime (see :class:`repro.runtime.AdaptiveRuntime`)."""
+
+    _section = "runtime"
+
+    adapt: bool = True
+    #: Inline fault/load schedule (the ``EventSchedule`` JSON shape).
+    events: dict | None = None
+    #: Path to a schedule file; mutually exclusive with ``events``.
+    events_file: str | None = None
+    drift_threshold: float = 0.25
+    ewma_alpha: float = 0.6
+    min_samples: int = 2
+    check_every: int = 1
+    checkpoint_every: int = 4
+    improvement_margin: float = 0.05
+    migration_safety: float = 1.0
+    cooldown_s: float = 0.0
+    stability_tol: float = 0.15
+    idle_decay: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.events is not None and self.events_file is not None:
+            raise SpecError(
+                "runtime", "events and events_file are mutually exclusive"
+            )
+
+
+@dataclass
+class FederatedSection:
+    """Federated workload: clients, rounds, and async mixing knobs.
+
+    The defaults describe a deliberately tiny job (two clients, one
+    round) so a backend that defaults this section in stays cheap.
+    ``platforms`` is cycled over clients; ``None`` uses the spec's
+    single-device ``platform`` for every client.
+    """
+
+    _section = "federated"
+
+    n_clients: int = 2
+    rounds: int = 1
+    local_epochs: int = 1
+    platforms: list[str] | None = None
+    max_staleness: int = 2
+    base_mix: float = 0.5
+    duration_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise SpecError("federated", "n_clients must be >= 1")
+        if self.rounds < 1:
+            raise SpecError("federated", "rounds must be >= 1")
+        if self.local_epochs < 1:
+            raise SpecError("federated", "local_epochs must be >= 1")
+        if self.max_staleness < 0:
+            raise SpecError("federated", "max_staleness must be >= 0")
+        if not 0 < self.base_mix <= 1:
+            raise SpecError("federated", "base_mix must be in (0, 1]")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise SpecError("federated", "duration_s must be positive")
+        if self.platforms is not None and not self.platforms:
+            raise SpecError("federated", "platforms must be non-empty or null")
+
+
+@dataclass
+class ServingSection:
+    """Serving workload: arrival process, routing, batcher knobs."""
+
+    _section = "serving"
+
+    pattern: str = "poisson"
+    arrival_rate: float = 100.0
+    duration_s: float = 0.5
+    mode: str = "cascade"
+    threshold: float = 0.5
+    exits: list[int] | None = None
+    batch_cap: int = 32
+    max_wait_ms: float = 5.0
+    queue_depth: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("cascade", "shallow-only", "deepest-only"):
+            raise SpecError(
+                "serving",
+                f"unknown mode {self.mode!r} "
+                "(cascade | shallow-only | deepest-only)",
+            )
+        if not 0.0 <= self.threshold <= 1.0:
+            raise SpecError("serving", "threshold must be in [0, 1]")
+        if self.exits is not None:
+            if not self.exits:
+                raise SpecError("serving", "exits needs at least one layer index")
+            if self.exits != sorted(set(self.exits)):
+                raise SpecError("serving", "exits must be strictly increasing")
+        if self.max_wait_ms < 0:
+            raise SpecError("serving", "max_wait_ms must be non-negative")
+
+
+@dataclass
+class BudgetsSection:
+    """Resource envelope: training memory, epochs, optional time budget."""
+
+    _section = "budgets"
+
+    memory_mb: float = 64.0
+    epochs: int = 1
+    time_budget_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise SpecError("budgets", "memory_mb must be positive")
+        if self.epochs < 1:
+            raise SpecError("budgets", "epochs must be >= 1")
+        if self.time_budget_s is not None and self.time_budget_s <= 0:
+            raise SpecError("budgets", "time_budget_s must be positive")
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_mb * 2**20)
+
+
+# --------------------------------------------------------------------- #
+# the spec                                                              #
+# --------------------------------------------------------------------- #
+@dataclass
+class JobSpec:
+    """One declarative, validated, JSON-round-trippable job description."""
+
+    backend: str = "sequential"
+    platform: str = "agx_orin"
+    model: ModelSection = field(default_factory=ModelSection)
+    data: DataSection = field(default_factory=DataSection)
+    neuroflux: NeuroFluxConfig = field(default_factory=NeuroFluxConfig)
+    budgets: BudgetsSection = field(default_factory=BudgetsSection)
+    cluster: ClusterSection | None = None
+    runtime: RuntimeSection | None = None
+    federated: FederatedSection | None = None
+    serving: ServingSection | None = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> None:
+        """Structural + cross-section validation (see module docstring).
+
+        Also materializes the workload sections the backend defaults in,
+        so backends can rely on their section being present.
+        """
+        rules = BACKEND_SECTION_RULES.get(self.backend)
+        if rules is None and not self._backend_registered(self.backend):
+            known = sorted(
+                set(BACKEND_SECTION_RULES) | set(self._registered_backends())
+            )
+            raise SpecError(
+                "jobspec",
+                f"unknown backend {self.backend!r}; registered: "
+                f"{', '.join(known)}",
+            )
+        self._check_names()
+        # Backend-independent rule: a runtime adapts a *cluster* run.
+        if self.runtime is not None and self.cluster is None:
+            raise SpecError(
+                "runtime",
+                "a runtime section requires a cluster section "
+                "(there is nothing to adapt on a single device)",
+            )
+        if rules is None:
+            return  # third-party backend: only structural rules apply
+        for section in rules["defaults"]:
+            if getattr(self, section) is None:
+                setattr(self, section, _SECTION_TYPES[section]())
+        if rules["needs_cluster"] and self.cluster is None:
+            raise SpecError(
+                "cluster",
+                f"the {self.backend!r} backend requires a cluster section "
+                "(hardware is never defaulted in)",
+            )
+        for section in rules["forbids"]:
+            if getattr(self, section) is not None:
+                raise SpecError(
+                    section,
+                    f"a {section} section conflicts with backend "
+                    f"{self.backend!r}; drop the section or re-target the "
+                    f"spec with with_backend()/--backend",
+                )
+
+    def _check_names(self) -> None:
+        """Fail fast on unknown model/dataset/platform names -- before any
+        training is paid for."""
+        from repro.data.registry import list_datasets
+        from repro.hw.platforms import get_platform
+        from repro.models.zoo import list_models
+
+        if self.model.name not in list_models():
+            raise SpecError(
+                "model",
+                f"unknown model {self.model.name!r}; available: {list_models()}",
+            )
+        if self.data.dataset not in list_datasets():
+            raise SpecError(
+                "data",
+                f"unknown dataset {self.data.dataset!r}; "
+                f"available: {list_datasets()}",
+            )
+        try:
+            get_platform(self.platform)
+        except ConfigError as exc:
+            raise SpecError("jobspec", str(exc)) from exc
+        for name in self._platform_names():
+            try:
+                get_platform(name)
+            except ConfigError as exc:
+                raise SpecError(
+                    "cluster" if self.cluster is not None else "federated",
+                    str(exc),
+                ) from exc
+
+    def _platform_names(self) -> list[str]:
+        names = []
+        if self.cluster is not None:
+            names.extend(d.platform for d in self.cluster.devices)
+        if self.federated is not None and self.federated.platforms:
+            names.extend(self.federated.platforms)
+        return names
+
+    @staticmethod
+    def _registered_backends() -> list[str]:
+        try:
+            from repro.api.registry import available_backends
+
+            return available_backends()
+        except ImportError:  # pragma: no cover - partial-install guard
+            return []
+
+    @staticmethod
+    def _backend_registered(name: str) -> bool:
+        return name in JobSpec._registered_backends()
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-pure dict: tuples become lists, absent sections are omitted."""
+        out: dict = {"backend": self.backend, "platform": self.platform}
+        out["model"] = _jsonify(dataclasses.asdict(self.model))
+        out["data"] = _jsonify(dataclasses.asdict(self.data))
+        out["neuroflux"] = self.neuroflux.to_dict()
+        out["budgets"] = _jsonify(dataclasses.asdict(self.budgets))
+        for name in ("cluster", "runtime", "federated", "serving"):
+            section = getattr(self, name)
+            if section is not None:
+                out[name] = _jsonify(dataclasses.asdict(section))
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict, backend: str | None = None) -> "JobSpec":
+        """Build a validated spec from a (JSON-shaped) dict.
+
+        Unknown keys -- top-level or inside any section -- raise
+        :class:`SpecError` naming the section.  ``backend`` re-targets
+        the spec at another backend, dropping the sections that backend
+        forbids (the CLI's ``--backend``).
+        """
+        if not isinstance(payload, dict):
+            raise SpecError(
+                "jobspec", f"spec must be a mapping, got {type(payload).__name__}"
+            )
+        known = {
+            "backend",
+            "platform",
+            "model",
+            "data",
+            "neuroflux",
+            "budgets",
+            "cluster",
+            "runtime",
+            "federated",
+            "serving",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise SpecError(
+                "jobspec",
+                f"unknown key(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}",
+            )
+        chosen = backend if backend is not None else payload.get("backend", "sequential")
+        if not isinstance(chosen, str):
+            raise SpecError("jobspec", "backend must be a string")
+        platform = payload.get("platform", "agx_orin")
+        if not isinstance(platform, str):
+            raise SpecError("jobspec", "platform must be a platform short name")
+
+        sections: dict = {}
+        for name, section_cls in _SECTION_TYPES.items():
+            raw = payload.get(name)
+            if raw is None:
+                sections[name] = None
+                continue
+            sections[name] = _section_from_dict(section_cls, raw, name)
+        if backend is not None:
+            # Re-targeting: drop whatever the chosen backend forbids, so
+            # one spec file can drive every registered backend.
+            rules = BACKEND_SECTION_RULES.get(chosen)
+            if rules is not None:
+                for name in rules["forbids"]:
+                    sections[name] = None
+        for name in ("model", "data", "budgets"):
+            if sections[name] is None:
+                sections[name] = _SECTION_TYPES[name]()
+        if sections["neuroflux"] is None:
+            sections["neuroflux"] = NeuroFluxConfig()
+        return cls(backend=chosen, platform=platform, **sections)
+
+    @classmethod
+    def from_json_file(cls, path: str, backend: str | None = None) -> "JobSpec":
+        """Load and validate a spec from a JSON file.
+
+        Malformed JSON and unreadable files raise :class:`SpecError`
+        (section ``"jobspec"``) -- the CLI turns these into a clean
+        exit-code-2 message, never a traceback.
+        """
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise SpecError("jobspec", f"malformed JSON in {path}: {exc}") from exc
+        except OSError as exc:
+            raise SpecError("jobspec", f"cannot read spec file {path}: {exc}") from exc
+        return cls.from_dict(payload, backend=backend)
+
+    def with_backend(self, backend: str) -> "JobSpec":
+        """A copy re-targeted at ``backend``.
+
+        Sections the new backend forbids are dropped and workload
+        sections it needs are defaulted in, so any spec can be re-aimed
+        at any registered backend (hardware sections are still never
+        invented: re-targeting a cluster-less spec at ``pipelined``
+        raises).
+        """
+        return JobSpec.from_dict(self.to_dict(), backend=backend)
+
+
+_SECTION_TYPES: dict[str, type] = {
+    "model": ModelSection,
+    "data": DataSection,
+    "neuroflux": NeuroFluxConfig,
+    "budgets": BudgetsSection,
+    "cluster": ClusterSection,
+    "runtime": RuntimeSection,
+    "federated": FederatedSection,
+    "serving": ServingSection,
+}
+
+
+# --------------------------------------------------------------------- #
+# helpers                                                               #
+# --------------------------------------------------------------------- #
+def _section_from_dict(section_cls: type, payload, section: str):
+    """Parse one section dict, rejecting unknown keys."""
+    if section_cls is NeuroFluxConfig:
+        try:
+            return NeuroFluxConfig.from_dict(payload)
+        except SpecError:
+            raise
+        except (ConfigError, TypeError) as exc:
+            raise SpecError("neuroflux", str(exc)) from exc
+    if not isinstance(payload, dict):
+        raise SpecError(
+            section, f"must be a mapping, got {type(payload).__name__}"
+        )
+    known = {f.name for f in fields(section_cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise SpecError(
+            section,
+            f"unknown key(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}",
+        )
+    kwargs = {}
+    for key, value in payload.items():
+        if key in _TUPLE_FIELDS and isinstance(value, list):
+            value = tuple(value)
+        if section == "cluster" and key == "devices":
+            value = _parse_devices(value)
+        kwargs[key] = value
+    try:
+        return section_cls(**kwargs)
+    except SpecError:
+        raise
+    except (ConfigError, TypeError) as exc:
+        raise SpecError(section, str(exc)) from exc
+
+
+def _parse_devices(raw) -> list[DeviceSection]:
+    """Devices accept the shorthand ``["nano", "agx-orin"]`` or dicts."""
+    if not isinstance(raw, list):
+        raise SpecError("cluster", "devices must be a list")
+    devices = []
+    for entry in raw:
+        if isinstance(entry, DeviceSection):
+            devices.append(entry)
+        elif isinstance(entry, str):
+            devices.append(DeviceSection(platform=entry))
+        elif isinstance(entry, dict):
+            unknown = sorted(set(entry) - {"platform", "memory_budget"})
+            if unknown:
+                raise SpecError(
+                    "cluster", f"unknown device key(s): {', '.join(unknown)}"
+                )
+            if "platform" not in entry:
+                raise SpecError("cluster", "every device needs a platform")
+            devices.append(DeviceSection(**entry))
+        else:
+            raise SpecError(
+                "cluster",
+                "devices entries must be platform names or "
+                "{platform, memory_budget} mappings",
+            )
+    return devices
+
+
+def _jsonify(value):
+    """Recursively convert tuples to lists (JSON purity)."""
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, list):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    return value

@@ -7,27 +7,31 @@ Usage::
     python -m repro.cli fig11 --models vgg16 --datasets cifar10
     python -m repro.cli table2
     python -m repro.cli all          # everything (slow)
+    python -m repro.cli run job.json
+    python -m repro.cli run job.json --backend pipelined --report-json out.json
     python -m repro.cli serve --platform agx_orin --arrival-rate 200
     python -m repro.cli parallel --schedule pipelined --epochs 3
     python -m repro.cli parallel --events faults.json --report-json run.json
     python -m repro.cli bench --quick
 
 Each command prints the reproduced figure/table as a plain-text table.
-``serve`` trains a small NeuroFlux system and runs the early-exit
-inference serving simulator against it (see :mod:`repro.serving`).
-``parallel`` trains one pipeline-parallel across a simulated device
-cluster with an optimized block placement (see :mod:`repro.parallel`);
-``--events`` injects a fault/load schedule under the adaptive runtime
-(see :mod:`repro.runtime`) and ``--report-json`` dumps the run report.
-``bench`` times the kernel substrate, seed path vs fused+workspace path
-(see :mod:`repro.perf.bench`), and records the trajectory in
-``BENCH_kernels.json``.
+``run`` is the unified entry point: it executes a declarative
+:class:`repro.api.JobSpec` JSON file on any registered backend
+(``sequential`` / ``pipelined`` / ``federated`` / ``federated-async`` /
+``serving``) and prints the unified report.  ``serve`` and ``parallel``
+are legacy spec-builders kept for backward compatibility: they assemble
+the equivalent JobSpec from their flags and drive the same
+:func:`repro.api.run` path (a once-per-process :class:`DeprecationWarning`
+points at ``run``).  ``bench`` times the kernel substrate, seed path vs
+fused+workspace path (see :mod:`repro.perf.bench`), and records the
+trajectory in ``BENCH_kernels.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Callable
 
 from repro.experiments import (
@@ -80,6 +84,93 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], list[Experiment
 }
 
 
+_LEGACY_WARNED = False
+
+
+def _warn_legacy(subcommand: str) -> None:
+    """One DeprecationWarning per process for the superseded entry points."""
+    global _LEGACY_WARNED
+    if _LEGACY_WARNED:
+        return
+    _LEGACY_WARNED = True
+    warnings.warn(
+        f"'repro.cli {subcommand}' is a legacy entry point superseded by "
+        f"'repro.cli run <spec.json>'; it now builds the equivalent JobSpec "
+        f"internally (see README: Unified job API)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# --------------------------------------------------------------------- #
+# run: the unified JobSpec entry point                                  #
+# --------------------------------------------------------------------- #
+def build_run_parser() -> argparse.ArgumentParser:
+    from repro.api import available_backends
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli run",
+        description=(
+            "Execute a declarative JobSpec JSON file on any registered "
+            "backend (see repro.api)."
+        ),
+    )
+    parser.add_argument("spec", help="path to a JobSpec JSON file")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help=(
+            "re-target the spec at another backend (sections the backend "
+            "does not consume are dropped; workload sections it needs are "
+            "defaulted in)"
+        ),
+    )
+    parser.add_argument(
+        "--report-json",
+        default=None,
+        metavar="PATH",
+        help="write the unified report (to_json_dict) to PATH",
+    )
+    return parser
+
+
+def _run_main(argv: list[str]) -> int:
+    from repro.errors import ReproError
+
+    try:
+        return _run_run(argv)
+    except ReproError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+
+
+def _write_report_json(path: str, report) -> None:
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(report.to_json_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _run_run(argv: list[str]) -> int:
+    from repro.api import JobSpec
+    from repro.api import run as run_job
+
+    args = build_run_parser().parse_args(argv)
+    spec = JobSpec.from_json_file(args.spec, backend=args.backend)
+    print(
+        f"running {spec.model.name} job on backend {spec.backend!r}...",
+        file=sys.stderr,
+    )
+    report = run_job(spec)
+    print(report.summary())
+    if args.report_json:
+        _write_report_json(args.report_json, report)
+    return 0
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli serve",
@@ -124,6 +215,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
 def _serve_main(argv: list[str]) -> int:
     from repro.errors import ConfigError
 
+    _warn_legacy("serve")
     try:
         return _serve_run(argv)
     except ConfigError as exc:
@@ -131,79 +223,71 @@ def _serve_main(argv: list[str]) -> int:
         return 2
 
 
-def _serve_run(argv: list[str]) -> int:
-    from repro.core.config import NeuroFluxConfig
-    from repro.core.controller import NeuroFlux
-    from repro.data.registry import dataset_spec
-    from repro.errors import ConfigError
-    from repro.hw.platforms import get_platform
-    from repro.models.zoo import build_model
-    from repro.serving import ServerConfig, WorkloadSpec, simulate_serving
+def serve_args_to_spec(args: argparse.Namespace):
+    """The legacy ``serve`` flag set as a declarative JobSpec.
 
-    args = build_serve_parser().parse_args(argv)
-    # Validate everything cheap (platform, workload, server knobs) before
-    # paying for training.
-    platform = get_platform(args.platform)
-    workload = WorkloadSpec(
-        pattern=args.pattern,
-        arrival_rate=args.arrival_rate,
-        duration_s=args.duration,
-        seed=args.seed,
-    )
-    server_config = ServerConfig(
-        batch_cap=args.batch_cap,
-        max_wait_s=args.max_wait_ms / 1e3,
-        queue_depth=args.queue_depth,
-    )
+    Pins the exact model/data/seed derivations the subcommand has always
+    used, so driving the unified path produces output unchanged from the
+    pre-JobSpec implementation.
+    """
+    from repro.api import JobSpec
+    from repro.errors import ConfigError
+
+    # Flag-specific messages the spec's own validation would phrase
+    # differently.
     if not 0.0 <= args.threshold <= 1.0:
         raise ConfigError("--threshold must be in [0, 1]")
-    data = dataset_spec(
-        "cifar10",
-        num_classes=4,
-        image_hw=(16, 16),
-        scale=0.01,
-        noise_std=0.4,
-        seed=7 + args.seed,
-    ).materialize()
-    model = build_model(
-        args.model,
-        num_classes=4,
-        input_hw=(16, 16),
-        width_multiplier=0.125,
-        seed=3 + args.seed,
+    if args.exits is not None and not args.exits:
+        raise ConfigError("--exits needs at least one layer index")
+    return JobSpec.from_dict(
+        {
+            "backend": "serving",
+            "platform": args.platform,
+            "model": {
+                "name": args.model,
+                "num_classes": 4,
+                "input_hw": [16, 16],
+                "width_multiplier": 0.125,
+                "seed": 3 + args.seed,
+            },
+            "data": {
+                "dataset": "cifar10",
+                "num_classes": 4,
+                "image_hw": [16, 16],
+                "scale": 0.01,
+                "noise_std": 0.4,
+                "seed": 7 + args.seed,
+            },
+            "neuroflux": {"batch_limit": 64, "seed": args.seed},
+            "budgets": {"memory_mb": 16, "epochs": args.epochs},
+            "serving": {
+                "pattern": args.pattern,
+                "arrival_rate": args.arrival_rate,
+                "duration_s": args.duration,
+                "mode": args.mode,
+                "threshold": args.threshold,
+                "exits": args.exits,
+                "batch_cap": args.batch_cap,
+                "max_wait_ms": args.max_wait_ms,
+                "queue_depth": args.queue_depth,
+            },
+        }
     )
-    if args.exits is not None:
-        if not args.exits:
-            raise ConfigError("--exits needs at least one layer index")
-        if args.exits != sorted(set(args.exits)):
-            raise ConfigError("--exits must be strictly increasing")
-        for i in args.exits:
-            if not 0 <= i < model.num_local_layers:
-                raise ConfigError(
-                    f"--exits layer {i} out of range "
-                    f"(model has {model.num_local_layers} layers)"
-                )
-    system = NeuroFlux(
-        model,
-        data,
-        memory_budget=16 * 2**20,
-        platform=platform,
-        config=NeuroFluxConfig(batch_limit=64, seed=args.seed),
-    )
+
+
+def _serve_run(argv: list[str]) -> int:
+    from repro.api import run as run_job
+    from repro.hw.platforms import get_platform
+
+    args = build_serve_parser().parse_args(argv)
+    spec = serve_args_to_spec(args)
     print(
-        f"training {model.name} with NeuroFlux on {platform.name} "
-        f"({args.epochs} epochs)...",
+        f"training {spec.model.name} with NeuroFlux on "
+        f"{get_platform(spec.platform).name} "
+        f"({spec.budgets.epochs} epochs)...",
         file=sys.stderr,
     )
-    system.run(epochs=args.epochs)
-    report = simulate_serving(
-        system,
-        workload,
-        exit_layers=args.exits,
-        threshold=args.threshold,
-        mode=args.mode,
-        config=server_config,
-    )
+    report = run_job(spec)
     print(report.table())
     return 0
 
@@ -291,6 +375,7 @@ def build_parallel_parser() -> argparse.ArgumentParser:
 def _parallel_main(argv: list[str]) -> int:
     from repro.errors import ConfigError, FaultError, PartitionError, PlacementError
 
+    _warn_legacy("parallel")
     try:
         return _parallel_run(argv)
     except (ConfigError, FaultError, PartitionError, PlacementError) as exc:
@@ -298,72 +383,67 @@ def _parallel_main(argv: list[str]) -> int:
         return 2
 
 
-def _parallel_run(argv: list[str]) -> int:
-    from repro.core.config import NeuroFluxConfig
-    from repro.core.controller import NeuroFlux
-    from repro.data.registry import dataset_spec
-    from repro.errors import ConfigError
-    from repro.models.zoo import build_model
-    from repro.parallel import DEFAULT_EDGE_CLUSTER, Cluster
+def parallel_args_to_spec(args: argparse.Namespace):
+    """The legacy ``parallel`` flag set as a declarative JobSpec.
 
-    args = build_parallel_parser().parse_args(argv)
-    names = args.devices if args.devices else list(DEFAULT_EDGE_CLUSTER)
-    # Validate the cluster and knobs before paying for planning/training.
-    cluster = Cluster.from_names(names)
+    Pins the exact model/data/seed derivations the subcommand has always
+    used, so driving the unified path produces output unchanged from the
+    pre-JobSpec implementation.
+    """
+    from repro.api import JobSpec
+    from repro.errors import ConfigError
+    from repro.parallel.cluster import DEFAULT_EDGE_CLUSTER
+
     if args.epochs < 1:
         raise ConfigError("--epochs must be >= 1")
-    runtime = None
+    names = args.devices if args.devices else list(DEFAULT_EDGE_CLUSTER)
+    payload = {
+        "backend": args.schedule,  # "sequential" | "pipelined"
+        "model": {
+            "name": args.model,
+            "num_classes": 4,
+            "input_hw": [16, 16],
+            "width_multiplier": 0.25,
+            "seed": 3 + args.seed,
+        },
+        "data": {
+            "dataset": "cifar10",
+            "num_classes": 4,
+            "image_hw": [16, 16],
+            "scale": 0.01,
+            "noise_std": 0.4,
+            "seed": 7 + args.seed,
+        },
+        "neuroflux": {"batch_limit": 64, "seed": args.seed},
+        "budgets": {"memory_mb": args.budget_mb, "epochs": args.epochs},
+        "cluster": {
+            "devices": list(names),
+            "placement": args.placement,
+            "microbatch": args.microbatch,
+            "queue_capacity": args.queue_capacity,
+        },
+    }
     if args.events or args.runtime:
-        from repro.runtime import AdaptiveRuntime, EventSchedule
+        payload["runtime"] = {"events_file": args.events}
+    return JobSpec.from_dict(payload)
 
-        events = EventSchedule.load(args.events) if args.events else None
-        runtime = AdaptiveRuntime(events=events)
-    budget = int(args.budget_mb * 2**20)
-    data = dataset_spec(
-        "cifar10",
-        num_classes=4,
-        image_hw=(16, 16),
-        scale=0.01,
-        noise_std=0.4,
-        seed=7 + args.seed,
-    ).materialize()
-    model = build_model(
-        args.model,
-        num_classes=4,
-        input_hw=(16, 16),
-        width_multiplier=0.25,
-        seed=3 + args.seed,
-    )
-    system = NeuroFlux(
-        model,
-        data,
-        memory_budget=budget,
-        config=NeuroFluxConfig(batch_limit=64, seed=args.seed),
-    )
-    placement = "round-robin" if args.placement == "round-robin" else None
+
+def _parallel_run(argv: list[str]) -> int:
+    from repro.api import run as run_job
+    from repro.hw.platforms import get_platform
+
+    args = build_parallel_parser().parse_args(argv)
+    spec = parallel_args_to_spec(args)
     print(
-        f"training {model.name} with NeuroFlux across "
-        f"{'+'.join(d.platform.name for d in cluster)} "
-        f"({args.schedule}, {args.epochs} epochs)...",
+        f"training {spec.model.name} with NeuroFlux across "
+        f"{'+'.join(get_platform(d.platform).name for d in spec.cluster.devices)} "
+        f"({args.schedule}, {spec.budgets.epochs} epochs)...",
         file=sys.stderr,
     )
-    report = system.train_parallel(
-        cluster,
-        epochs=args.epochs,
-        schedule=args.schedule,
-        placement=placement,
-        microbatch=args.microbatch,
-        queue_capacity=args.queue_capacity,
-        runtime=runtime,
-    )
+    report = run_job(spec)
     print(report.summary())
     if args.report_json:
-        import json
-
-        with open(args.report_json, "w") as fh:
-            json.dump(report.to_json_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {args.report_json}", file=sys.stderr)
+        _write_report_json(args.report_json, report)
     return 0
 
 
@@ -388,6 +468,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "run":
+        return _run_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
     if argv and argv[0] == "parallel":
@@ -401,6 +483,7 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(k) for k in EXPERIMENTS)
         for key, (desc, _) in EXPERIMENTS.items():
             print(f"{key.ljust(width)}  {desc}")
+        print(f"{'run'.ljust(width)}  execute a JobSpec on any backend (run --help)")
         print(f"{'serve'.ljust(width)}  early-exit serving simulator (serve --help)")
         print(f"{'parallel'.ljust(width)}  multi-device pipeline training (parallel --help)")
         print(f"{'bench'.ljust(width)}  kernel wall-clock benchmarks (bench --help)")

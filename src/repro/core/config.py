@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.core.partitioner import DEFAULT_GROUPING_THRESHOLD
 from repro.errors import ConfigError
@@ -43,3 +43,38 @@ class NeuroFluxConfig:
             raise ConfigError("exit_tolerance must be non-negative")
         if self.eval_subset < 1:
             raise ConfigError("eval_subset must be >= 1")
+
+    # -- serialization (the JobSpec ``neuroflux`` section) -------------------
+    def to_dict(self) -> dict:
+        """JSON-pure dict of every field (tuples become lists)."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NeuroFluxConfig":
+        """Build a config from a dict, rejecting unknown keys.
+
+        The inverse of :meth:`to_dict`: lists are coerced back to the
+        tuples the dataclass declares (``sample_batches``), and any key
+        that is not a config field raises :class:`ConfigError` -- a
+        typoed knob in a spec file must fail loudly, not silently train
+        with the default.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"NeuroFluxConfig payload must be a dict, got {type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown NeuroFluxConfig key(s): {', '.join(unknown)}; "
+                f"known keys: {', '.join(sorted(known))}"
+            )
+        kwargs = dict(payload)
+        if isinstance(kwargs.get("sample_batches"), list):
+            kwargs["sample_batches"] = tuple(kwargs["sample_batches"])
+        return cls(**kwargs)

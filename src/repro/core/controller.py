@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.callbacks import Callback, CallbackList, as_callback_list
 from repro.core.auxiliary import build_aux_heads
 from repro.core.cache import ActivationStore
 from repro.core.config import NeuroFluxConfig
@@ -171,6 +172,38 @@ class _ClusterSequentialContext:
     @property
     def peak_memory(self) -> int:
         return max(gpu.peak for gpu in self.gpus)
+
+
+class _PipelineHistoryCallback(Callback):
+    """Pipelined-run history recorder on the unified callback protocol.
+
+    Subscribes to the executor's ``on_epoch_end``, evaluates the best
+    exit accuracy on the capped validation subset, appends the
+    :class:`HistoryPoint`, and enriches the shared ``metrics`` dict in
+    place so callbacks later in the list observe ``accuracy`` too.
+    """
+
+    def __init__(self, system: "NeuroFlux", result, val_x, val_y):
+        self.system = system
+        self.result = result
+        self.val_x = val_x
+        self.val_y = val_y
+        self.best_acc = 0.0
+
+    def on_epoch_end(self, epoch: int, time_s: float, metrics: dict) -> None:
+        feats = self.val_x
+        for spec in self.system.specs:
+            spec.module.eval()
+            feats = spec.module.forward(feats)
+            spec.module.train()
+            acc = self.system._exit_accuracy(feats, self.val_y, spec.index)
+            self.best_acc = max(self.best_acc, acc)
+        metrics["accuracy"] = self.best_acc
+        self.result.history.append(
+            HistoryPoint(
+                time_s, epoch + 1, self.best_acc, metrics.get("loss", float("nan")), "val"
+            )
+        )
 
 
 class NeuroFlux:
@@ -352,9 +385,14 @@ class NeuroFlux:
         return acc
 
     # -- the whole pipeline (steps 0-4) ---------------------------------------
-    def run(self, epochs: int, time_budget_s: float | None = None) -> NeuroFluxReport:
+    def run(
+        self,
+        epochs: int,
+        time_budget_s: float | None = None,
+        callbacks: Callback | list[Callback] | None = None,
+    ) -> NeuroFluxReport:
         ctx = _SingleDeviceContext(self.platform, self.memory_budget)
-        return self._execute(epochs, time_budget_s, ctx)
+        return self._execute(epochs, time_budget_s, ctx, callbacks=callbacks)
 
     def _execute(
         self,
@@ -362,12 +400,16 @@ class NeuroFlux:
         time_budget_s: float | None,
         ctx,
         plan: tuple[list[Block], float] | None = None,
+        callbacks: Callback | list[Callback] | None = None,
     ) -> NeuroFluxReport:
         """Block-by-block training loop, placed by an execution context.
 
         ``plan`` lets callers that already profiled/partitioned (e.g.
         :meth:`train_parallel`) pass their ``(blocks, profiling_flops)``
-        instead of paying for :meth:`plan` again.
+        instead of paying for :meth:`plan` again.  ``callbacks`` receive
+        the unified :mod:`repro.api.callbacks` hooks; an attached
+        adaptive runtime subscribes through the same list (first, so
+        user callbacks observe post-migration state).
         """
         if epochs < 1:
             raise ConfigError("epochs must be >= 1")
@@ -399,6 +441,15 @@ class NeuroFlux:
         best_acc_so_far = 0.0
 
         runtime = ctx.runtime
+        # A fresh list every run: prepending the runtime into a
+        # caller-owned CallbackList would leak this run's bound runtime
+        # into the caller's next run.
+        cbs = CallbackList(
+            ([runtime] if runtime is not None else [])
+            + list(as_callback_list(callbacks))
+        )
+        if runtime is not None:
+            runtime.callbacks = cbs
         try:
             for block in blocks:
                 sim = ctx.sim_for_block(block.index)
@@ -438,11 +489,8 @@ class NeuroFlux:
                         batches,
                         time_budget_s=pass_budget,
                         input_mode=input_mode,
-                        on_batch=(
-                            runtime.sequential_on_batch
-                            if runtime is not None
-                            else None
-                        ),
+                        callbacks=cbs if cbs else None,
+                        block_index=block.index,
                     )
                     # The runtime may have migrated the block mid-pass
                     # (device failure): charge all follow-up work on the
@@ -465,6 +513,15 @@ class NeuroFlux:
                             mean_loss,
                             "val",
                         )
+                    )
+                    cbs.on_epoch_end(
+                        epoch,
+                        ctx.elapsed,
+                        {
+                            "accuracy": best_acc_so_far,
+                            "loss": mean_loss,
+                            "block": block.index,
+                        },
                     )
                     if time_budget_s is not None and ctx.elapsed >= time_budget_s:
                         stop = True
@@ -508,6 +565,7 @@ class NeuroFlux:
                         mean_loss=mean_loss,
                     )
                 )
+                cbs.on_block_trained(report.block_reports[-1])
                 if stop:
                     break
 
@@ -564,6 +622,7 @@ class NeuroFlux:
         queue_capacity: int = 2,
         time_budget_s: float | None = None,
         runtime=None,
+        callbacks: Callback | list[Callback] | None = None,
     ):
         """Train this system across a simulated device cluster.
 
@@ -681,7 +740,11 @@ class NeuroFlux:
                     cluster, problem, blocks, ctx, self._block_residency_bytes
                 )
             report = self._execute(
-                epochs, time_budget_s, ctx, plan=(blocks, profiling_flops)
+                epochs,
+                time_budget_s,
+                ctx,
+                plan=(blocks, profiling_flops),
+                callbacks=callbacks,
             )
             report.result.extras["schedule"] = schedule
             placement = list(ctx.placement)  # the runtime may have re-placed
@@ -705,6 +768,7 @@ class NeuroFlux:
             report, stats, placement = self._run_pipelined(
                 cluster, blocks, placement, problem, epochs,
                 queue_capacity, time_budget_s, profiling_flops, runtime,
+                callbacks,
             )
             report.result.extras["schedule"] = schedule
             makespan = stats.makespan_s
@@ -779,6 +843,7 @@ class NeuroFlux:
         time_budget_s: float | None,
         profiling_flops: float,
         runtime=None,
+        callbacks: Callback | list[Callback] | None = None,
     ):
         """Pipelined schedule: all blocks resident and training at once."""
         from repro.parallel.pipeline import PipelineExecutor
@@ -825,20 +890,19 @@ class NeuroFlux:
         n_eval = min(cfg.eval_subset, len(self.data.x_val))
         val_x_sub = self.data.x_val[:n_eval]
         val_y_sub = self.data.y_val[:n_eval]
-        best_acc_so_far = 0.0
 
-        def on_epoch_end(epoch: int, makespan: float, mean_loss: float) -> None:
-            nonlocal best_acc_so_far
-            feats = val_x_sub
-            for spec in self.specs:
-                spec.module.eval()
-                feats = spec.module.forward(feats)
-                spec.module.train()
-                acc = self._exit_accuracy(feats, val_y_sub, spec.index)
-                best_acc_so_far = max(best_acc_so_far, acc)
-            result.history.append(
-                HistoryPoint(makespan, epoch + 1, best_acc_so_far, mean_loss, "val")
-            )
+        history = _PipelineHistoryCallback(self, result, val_x_sub, val_y_sub)
+        # Subscriber order: the runtime first (it may migrate blocks, and
+        # later callbacks should observe post-migration state), then the
+        # history recorder (it enriches on_epoch_end metrics with the
+        # accuracy user callbacks read), then user callbacks.
+        cbs = CallbackList(
+            ([runtime] if runtime is not None else [])
+            + [history]
+            + list(as_callback_list(callbacks))
+        )
+        if runtime is not None:
+            runtime.callbacks = cbs
 
         start_offsets = [0.0] * len(cluster)
         start_offsets[placement[0]] = profiling_time
@@ -852,7 +916,7 @@ class NeuroFlux:
             seed=cfg.seed,
             queue_capacity=queue_capacity,
             start_offsets=start_offsets,
-            on_epoch_end=on_epoch_end,
+            callbacks=cbs,
             runtime=runtime,
         )
         try:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.report import common_json_fields, json_num as _num
 from repro.core.partitioner import Block
 from repro.training.common import TrainResult
 
@@ -43,6 +44,44 @@ class NeuroFluxReport:
     cache_bytes_written: int = 0
     dataset_bytes: int = 0
     profiling_time_s: float = 0.0
+
+    # -- unified report protocol (repro.api.report.Report) -------------------
+    @property
+    def wall_clock_s(self) -> float:
+        """End-to-end simulated seconds of the run."""
+        return self.result.sim_time_s
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Simulated GPU high-water mark."""
+        return self.result.peak_memory_bytes
+
+    def ledger_summary(self) -> dict[str, float]:
+        """Simulated seconds by cost category (includes ``total``)."""
+        return self.result.ledger.as_dict()
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable run report (unified schema head + specifics)."""
+        out = common_json_fields(self, kind="neuroflux")
+        out.update(
+            {
+                "model": self.result.model_name,
+                "dataset": self.result.dataset_name,
+                "platform": self.result.platform_name,
+                "epochs": self.result.epochs,
+                "blocks": [
+                    {"layers": list(b.layer_indices), "batch_size": b.batch_size}
+                    for b in self.blocks
+                ],
+                "exit_layer": self.exit_layer,
+                "exit_val_accuracy": _num(self.exit_val_accuracy),
+                "exit_test_accuracy": _num(self.exit_test_accuracy),
+                "compression_factor": _num(self.compression_factor),
+                "cache_bytes_written": self.cache_bytes_written,
+                "profiling_time_s": _num(self.profiling_time_s),
+            }
+        )
+        return out
 
     @property
     def compression_factor(self) -> float:

@@ -14,6 +14,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.api.callbacks import BatchInfo, Callback
 from repro.errors import ConfigError
 from repro.flops.count import module_forward_flops, training_step_flops
 from repro.hw.simulator import ExecutionSimulator
@@ -140,16 +141,18 @@ class BlockWorker:
         batches: Iterable[tuple[np.ndarray, np.ndarray]],
         time_budget_s: float | None = None,
         input_mode: str = "prefetch-raw",
-        on_batch: Callable[[int, float, int], None] | None = None,
+        callbacks: Callback | None = None,
+        block_index: int = 0,
     ) -> tuple[int, int, float]:
         """One pass of Algorithm 2 over the input stream.
 
         Returns ``(n_batches, n_samples, mean_last_layer_loss)``.  Stops
         early if the simulated clock passes ``time_budget_s``.
-        ``on_batch(n_batches_done, step_seconds, batch_samples)`` runs
-        after every batch -- the adaptive runtime's observation/event
-        hook.  It may rebind :attr:`sim` (live migration); later batches
-        charge the new device.
+        ``callbacks`` receives one :meth:`~Callback.on_batch` per trained
+        batch (the unified observation hook -- the adaptive runtime
+        subscribes through it and may rebind :attr:`sim` for live
+        migration; later batches charge the new device).  ``block_index``
+        labels the emitted :class:`BatchInfo`.
         """
         for spec in self.layer_specs:
             spec.module.train()
@@ -163,8 +166,16 @@ class BlockWorker:
             loss_sum += loss * len(out)
             n_batches += 1
             n_samples += len(out)
-            if on_batch is not None:
-                on_batch(n_batches, step_t, len(out))
+            if callbacks is not None:
+                callbacks.on_batch(
+                    BatchInfo(
+                        scope="sequential",
+                        block_index=block_index,
+                        n_done=n_batches,
+                        step_s=step_t,
+                        n_samples=len(out),
+                    )
+                )
             if time_budget_s is not None and self.sim.elapsed >= time_budget_s:
                 break
         mean_loss = loss_sum / n_samples if n_samples else float("nan")

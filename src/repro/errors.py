@@ -19,6 +19,19 @@ class ConfigError(ReproError):
     """A configuration value was invalid or inconsistent."""
 
 
+class SpecError(ConfigError):
+    """A :class:`repro.api.JobSpec` failed validation.
+
+    Carries the offending section name (``"jobspec"`` for top-level
+    problems) so callers -- and error messages -- can point at the exact
+    part of the spec to fix.
+    """
+
+    def __init__(self, section: str, message: str):
+        self.section = section
+        super().__init__(f"[{section}] {message}")
+
+
 class MemoryBudgetExceeded(ReproError):
     """A simulated GPU allocation would exceed the configured budget.
 

@@ -33,6 +33,12 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
+from repro.api.callbacks import Callback, as_callback_list
+from repro.api.report import (
+    common_json_fields,
+    json_num as _num,
+    merge_ledger_summaries,
+)
 from repro.core.auxiliary import build_aux_heads
 from repro.core.config import NeuroFluxConfig
 from repro.core.controller import NeuroFlux
@@ -40,7 +46,7 @@ from repro.data.datasets import SyntheticImageDataset
 from repro.errors import ConfigError
 from repro.hw.platforms import AGX_ORIN, WAN_100MBIT, Link, Platform
 from repro.models.zoo import build_model
-from repro.parallel.cluster import Cluster, Device
+from repro.parallel.cluster import Cluster, Device, ledger_delta
 from repro.training.common import evaluate_classifier
 
 
@@ -98,6 +104,57 @@ class FederatedResult:
     rounds: list[FederatedRound]
     final_accuracy: float
     total_sim_time_s: float
+    #: Per-client device ledgers (cost category -> seconds, incl. total).
+    device_ledgers: list[dict[str, float]] = field(default_factory=list)
+    #: Highest simulated GPU high-water mark across all client runs.
+    peak_memory_bytes: int = 0
+
+    # -- unified report protocol (repro.api.report.Report) -------------------
+    @property
+    def wall_clock_s(self) -> float:
+        """Sum of synchronous round latencies (straggler-paced)."""
+        return self.total_sim_time_s
+
+    def ledger_summary(self) -> dict[str, float]:
+        return merge_ledger_summaries(self.device_ledgers)
+
+    def to_json_dict(self) -> dict:
+        out = common_json_fields(self, kind="federated")
+        out.update(
+            {
+                "n_rounds": len(self.rounds),
+                "final_accuracy": _num(self.final_accuracy),
+                "rounds": [
+                    {
+                        "round": r.round_index,
+                        "sim_time_s": _num(r.sim_time_s),
+                        "global_accuracy": _num(r.global_accuracy),
+                        "client_exit_layers": list(r.client_exit_layers),
+                        "communication_time_s": _num(r.communication_time_s),
+                    }
+                    for r in self.rounds
+                ],
+                "device_ledgers": [
+                    {k: _num(v) for k, v in ledger.items()}
+                    for ledger in self.device_ledgers
+                ],
+            }
+        )
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"Federated NeuroFlux run: {len(self.rounds)} synchronous rounds",
+            f"  total time: {self.total_sim_time_s:.1f}s  "
+            f"final accuracy: {self.final_accuracy:.3f}",
+        ]
+        for r in self.rounds:
+            exits = [e + 1 for e in r.client_exit_layers]
+            lines.append(
+                f"  round {r.round_index}: {r.sim_time_s:.1f}s  "
+                f"acc {r.global_accuracy:.3f}  exits {exits}"
+            )
+        return "\n".join(lines)
 
 
 @dataclass
@@ -120,6 +177,10 @@ class AsyncFederatedResult:
     total_sim_time_s: float
     client_times_s: list[float] = field(default_factory=list)
     dropped_clients: list[int] = field(default_factory=list)
+    #: Per-client device ledgers (cost category -> seconds, incl. total).
+    device_ledgers: list[dict[str, float]] = field(default_factory=list)
+    #: Highest simulated GPU high-water mark across all client runs.
+    peak_memory_bytes: int = 0
 
     @property
     def n_applied(self) -> int:
@@ -130,6 +191,45 @@ class AsyncFederatedResult:
         if not self.applied:
             return float("nan")
         return sum(u.staleness for u in self.applied) / len(self.applied)
+
+    # -- unified report protocol (repro.api.report.Report) -------------------
+    @property
+    def wall_clock_s(self) -> float:
+        """Event-clock time of the last applied update."""
+        return self.total_sim_time_s
+
+    def ledger_summary(self) -> dict[str, float]:
+        return merge_ledger_summaries(self.device_ledgers)
+
+    def to_json_dict(self) -> dict:
+        out = common_json_fields(self, kind="federated-async")
+        out.update(
+            {
+                "n_applied": self.n_applied,
+                "n_rejected": self.n_rejected,
+                "mean_staleness": _num(self.mean_staleness),
+                "final_accuracy": _num(self.final_accuracy),
+                "dropped_clients": list(self.dropped_clients),
+                "client_times_s": [_num(t) for t in self.client_times_s],
+                "device_ledgers": [
+                    {k: _num(v) for k, v in ledger.items()}
+                    for ledger in self.device_ledgers
+                ],
+            }
+        )
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            "Federated NeuroFlux run (asynchronous, bounded staleness): "
+            f"{self.n_applied} updates applied, {self.n_rejected} rejected",
+            f"  total time: {self.total_sim_time_s:.1f}s  "
+            f"final accuracy: {self.final_accuracy:.3f}  "
+            f"mean staleness: {self.mean_staleness:.2f}",
+        ]
+        if self.dropped_clients:
+            lines.append(f"  dropped clients: {self.dropped_clients}")
+        return "\n".join(lines)
 
 
 def shard_dataset(
@@ -183,9 +283,28 @@ class FederatedNeuroFlux:
                 for c in clients
             ]
         )
+        #: Highest simulated GPU high-water mark seen across client runs.
+        self._peak_memory = 0
 
     def _build_model(self):
         return build_model(self.model_name, seed=self.seed, **self.model_kwargs)
+
+    def _snapshot_for_run(self) -> list[dict[str, float]]:
+        """Per-run accounting baseline.
+
+        Client device ledgers accumulate for the life of the federation
+        (incremental ``run`` calls continue training the same global
+        model), but each call's *report* must describe that call alone:
+        ledgers are reported as deltas against this snapshot and the
+        peak-memory high-water mark restarts.
+        """
+        self._peak_memory = 0
+        return self.cluster.ledger_snapshot()
+
+    def _run_ledgers(
+        self, base: list[dict[str, float]]
+    ) -> list[dict[str, float]]:
+        return ledger_delta(self.cluster.ledger_snapshot(), base)
 
     def _update_bytes(self) -> int:
         """Bytes of one full model+heads update (download or upload)."""
@@ -194,9 +313,16 @@ class FederatedNeuroFlux:
             nbytes += sum(a.nbytes for a in state.values())
         return nbytes
 
-    def run(self, rounds: int, local_epochs: int = 1) -> FederatedResult:
+    def run(
+        self,
+        rounds: int,
+        local_epochs: int = 1,
+        callbacks: Callback | list[Callback] | None = None,
+    ) -> FederatedResult:
         if rounds < 1:
             raise ConfigError("rounds must be >= 1")
+        cbs = as_callback_list(callbacks)
+        base_ledgers = self._snapshot_for_run()
         history: list[FederatedRound] = []
         total_time = 0.0
         for round_idx in range(rounds):
@@ -240,10 +366,23 @@ class FederatedNeuroFlux:
                     communication_time_s=round_comm,
                 )
             )
+            # Federated rounds are the epoch analogue on the unified
+            # callback protocol: one global-model update per round.
+            cbs.on_epoch_end(
+                round_idx,
+                total_time,
+                {
+                    "accuracy": acc,
+                    "round_time_s": round_time,
+                    "communication_s": round_comm,
+                },
+            )
         return FederatedResult(
             rounds=history,
             final_accuracy=history[-1].global_accuracy,
             total_sim_time_s=total_time,
+            device_ledgers=self._run_ledgers(base_ledgers),
+            peak_memory_bytes=self._peak_memory,
         )
 
     def _run_client_once(
@@ -270,6 +409,7 @@ class FederatedNeuroFlux:
         for head, state in zip(nf.aux_heads, self._global_aux_states):
             head.load_state_dict(state)
         report = nf.run(local_epochs)
+        self._peak_memory = max(self._peak_memory, report.result.peak_memory_bytes)
         ledger = report.result.ledger
         if device.sim.time_scale != 1.0:
             for f in fields(ledger):
@@ -291,6 +431,7 @@ class FederatedNeuroFlux:
         base_mix: float = 0.5,
         duration_s: float | None = None,
         events=None,
+        callbacks: Callback | list[Callback] | None = None,
     ) -> AsyncFederatedResult:
         """Asynchronous bounded-staleness federated rounds (no barrier).
 
@@ -341,6 +482,8 @@ class FederatedNeuroFlux:
                     f"event targets device {event.device}, but there are "
                     f"only {len(self.clients)} clients"
                 )
+        cbs = as_callback_list(callbacks)
+        base_ledgers = self._snapshot_for_run()
         # The runtime's schedule player owns the event semantics (window
         # expiry, scale combination, failure dedup); here a "device" is a
         # client and failure means the client drops out of the federation.
@@ -348,7 +491,8 @@ class FederatedNeuroFlux:
         failed = player.failed
 
         def advance_events(now: float) -> None:
-            player.due(now)
+            for event in player.due(now):
+                cbs.on_event(event, now)
             scales = player.scales(now)
             for c, device in enumerate(self.cluster):
                 if c not in failed:
@@ -401,6 +545,17 @@ class FederatedNeuroFlux:
                 ]
                 version += 1
                 applied.append(AppliedUpdate(t, client_id, staleness, alpha))
+                # Each applied update is one global-model step: the epoch
+                # analogue on the unified callback protocol.
+                cbs.on_epoch_end(
+                    len(applied) - 1,
+                    t,
+                    {
+                        "client": client_id,
+                        "staleness": staleness,
+                        "mix_weight": alpha,
+                    },
+                )
                 # Only updates that actually entered the global model vote
                 # on the consensus exit (rejected/dropped rounds never
                 # influenced the weights being evaluated).
@@ -437,6 +592,8 @@ class FederatedNeuroFlux:
             total_sim_time_s=last_applied_s,
             client_times_s=[d.sim.elapsed for d in self.cluster],
             dropped_clients=sorted(failed),
+            device_ledgers=self._run_ledgers(base_ledgers),
+            peak_memory_bytes=self._peak_memory,
         )
 
     def _global_exit_accuracy(self, client_exits: list[int]) -> float:

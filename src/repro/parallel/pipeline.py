@@ -28,6 +28,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.api.callbacks import BatchInfo, Callback
 from repro.core.worker import BlockWorker
 from repro.errors import ConfigError
 from repro.parallel.cluster import Cluster
@@ -230,7 +231,7 @@ class PipelineExecutor:
         queue_capacity: int = 2,
         start_offsets: list[float] | None = None,
         batch_source: Callable[[int], Iterable[tuple[np.ndarray, np.ndarray]]] | None = None,
-        on_epoch_end: Callable[[int, float, float], None] | None = None,
+        callbacks: Callback | None = None,
         runtime=None,
     ):
         if len(placement) != len(workers):
@@ -252,11 +253,18 @@ class PipelineExecutor:
         self.queue_capacity = queue_capacity
         self.start_offsets = start_offsets
         self.batch_source = batch_source
-        self.on_epoch_end = on_epoch_end
-        #: Optional adaptive control loop (``repro.runtime.AdaptiveRuntime``):
-        #: observed after every stage step, consulted after every micro-batch.
-        #: It may mutate ``placement``, rebind worker simulators and grow the
-        #: cluster/clock -- the executor just keeps streaming.
+        #: Unified observation hooks (:mod:`repro.api.callbacks`): one
+        #: ``on_batch`` per (micro-batch, stage) pair -- ``last_stage``
+        #: marks the end of each micro-batch -- and one ``on_epoch_end``
+        #: per epoch.  The adaptive runtime subscribes through the same
+        #: list; it may mutate ``placement``, rebind worker simulators
+        #: and grow the cluster/clock -- the executor just keeps
+        #: streaming.
+        self.callbacks = callbacks
+        #: The adaptive control loop itself, kept for run-start binding
+        #: (:meth:`AdaptiveRuntime.start_pipeline`); its per-step
+        #: observations arrive through :attr:`callbacks` like everyone
+        #: else's.
         self.runtime = runtime
 
     def _epoch_batches(self, epoch: int) -> Iterable[tuple[np.ndarray, np.ndarray]]:
@@ -317,22 +325,31 @@ class PipelineExecutor:
                             comm_seconds[src] = comm_seconds.get(src, 0.0) + comm_t
                             comm_bytes += nbytes
                     clock.step(k, step_t, comm_t)
-                    if self.runtime is not None:
-                        self.runtime.on_stage_step(k, step_t, len(y))
+                    if self.callbacks is not None:
+                        self.callbacks.on_batch(
+                            BatchInfo(
+                                scope="stage",
+                                block_index=k,
+                                n_done=n_micro + 1,
+                                step_s=step_t,
+                                n_samples=len(y),
+                                last_stage=k + 1 == len(self.workers),
+                            )
+                        )
                     x = out
                 loss_sum += loss * len(x)
                 n_samples += len(x)
                 n_micro += 1
-                if self.runtime is not None:
-                    self.runtime.after_microbatch()
-                    ever_hosted.update(self.placement)
+                ever_hosted.update(self.placement)
                 if time_budget_s is not None and clock.makespan >= time_budget_s:
                     stopped = True
                     break
             mean_loss = loss_sum / n_samples if n_samples else float("nan")
             epoch_losses.append(mean_loss)
-            if self.on_epoch_end is not None:
-                self.on_epoch_end(epoch, clock.makespan, mean_loss)
+            if self.callbacks is not None:
+                self.callbacks.on_epoch_end(
+                    epoch, clock.makespan, {"loss": mean_loss}
+                )
             if stopped:
                 break
         active = [d in ever_hosted for d in range(len(self.cluster))]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.report import common_json_fields, json_num as _num
 from repro.core.report import NeuroFluxReport
 
 
@@ -45,6 +46,21 @@ class ParallelReport:
         """Total simulated seconds each device charged during the run."""
         return [ledger.get("total", 0.0) for ledger in self.device_ledgers]
 
+    # -- unified report protocol (repro.api.report.Report) -------------------
+    @property
+    def wall_clock_s(self) -> float:
+        """End-to-end simulated seconds (the cluster makespan)."""
+        return self.makespan_s
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Highest simulated GPU high-water mark across devices."""
+        return self.report.result.peak_memory_bytes
+
+    def ledger_summary(self) -> dict[str, float]:
+        """Cost categories merged across all device ledgers."""
+        return self.report.result.ledger.as_dict()
+
     def summary(self) -> str:
         """Human-readable one-screen summary."""
         predicted = (
@@ -81,11 +97,8 @@ class ParallelReport:
 
     def to_json_dict(self) -> dict:
         """JSON-serializable run report (the CLI's ``--report-json``)."""
-        def _num(x: float) -> float | None:
-            return None if x != x else round(x, 6)  # NaN -> null
-
         return {
-            "schema": 1,
+            **common_json_fields(self, kind="parallel"),
             "schedule": self.schedule,
             "placement": list(self.placement),
             "device_names": list(self.device_names),

@@ -84,6 +84,28 @@ class DriftMonitor:
     def coefficients(self) -> list[float]:
         return list(self._coefficient)
 
+    # -- idle decay --------------------------------------------------------
+    def decay_toward_unit(self, device: int, rate: float) -> None:
+        """Relax a device's coefficient toward ``1.0`` by ``rate``.
+
+        A device that hosts no blocks produces no observations, so its
+        refined coefficient freezes at whatever the last measurement
+        said.  That is exactly wrong for a *vacated* device: the load
+        spike that justified vacating it eventually expires, but with no
+        steps running there the monitor never notices, and the stale
+        coefficient blacklists the device for the rest of the run.
+        Callers (the adaptive runtime) decay idle devices periodically --
+        ``c <- 1 + (1 - rate) * (c - 1)`` -- so an unobserved drifted
+        device drifts back toward "trust the nominal model" and becomes
+        a re-placement candidate again.  Observed devices are never
+        decayed: a fresh measurement always beats a prior.
+        """
+        self.ensure_device(device)
+        if not 0 <= rate <= 1:
+            raise ConfigError(f"decay rate must be in [0, 1], got {rate}")
+        c = self._coefficient[device]
+        self._coefficient[device] = 1.0 + (1.0 - rate) * (c - 1.0)
+
     def drifted(self, device: int) -> bool:
         """True when the device has demonstrably departed from the model.
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.callbacks import BatchInfo, Callback
 from repro.errors import ConfigError, FaultError, PlacementError
 from repro.hw.platforms import get_platform
 from repro.memory.tracker import SimulatedGpu
@@ -122,8 +123,16 @@ class RuntimeReport:
         return "\n".join(lines)
 
 
-class AdaptiveRuntime:
+class AdaptiveRuntime(Callback):
     """Adaptive control loop for one cluster training run.
+
+    The runtime is a :class:`repro.api.callbacks.Callback`: the
+    controller and pipeline executor emit every trained batch through the
+    unified callback list, and the runtime subscribes to ``on_batch``
+    like any other observer (it is placed first so later callbacks see
+    post-migration state).  In the other direction it *emits* through
+    the same list: injected fault/load events surface as ``on_event``
+    and block moves as ``on_migration`` to every other subscriber.
 
     Constructor knobs:
 
@@ -143,7 +152,12 @@ class AdaptiveRuntime:
       checkpoints (the fault-tolerance overhead; what failure recovery
       replays from);
     * ``improvement_margin`` / ``migration_safety`` / ``cooldown_s`` --
-      re-placement hysteresis (see :class:`ReplacementPolicy`).
+      re-placement hysteresis (see :class:`ReplacementPolicy`);
+    * ``idle_decay`` -- per-consultation relaxation of *idle* device
+      coefficients toward ``1.0`` (see
+      :meth:`DriftMonitor.decay_toward_unit`): a vacated device stops
+      producing observations, so without decay an expired load spike
+      would blacklist it forever.  ``0.0`` disables the decay.
     """
 
     def __init__(
@@ -159,6 +173,7 @@ class AdaptiveRuntime:
         migration_safety: float = 1.0,
         cooldown_s: float = 0.0,
         stability_tol: float = 0.15,
+        idle_decay: float = 0.25,
     ):
         if check_every < 1:
             raise ConfigError("check_every must be >= 1")
@@ -166,6 +181,8 @@ class AdaptiveRuntime:
             raise ConfigError("checkpoint_every must be >= 1")
         if stability_tol < 0:
             raise ConfigError("stability_tol must be non-negative")
+        if not 0 <= idle_decay <= 1:
+            raise ConfigError("idle_decay must be in [0, 1]")
         self.schedule = events if events is not None else EventSchedule()
         self.adapt = bool(adapt)
         self.check_every = int(check_every)
@@ -182,6 +199,12 @@ class AdaptiveRuntime:
         )
         self.store = CheckpointStore()
         self.monitor: DriftMonitor | None = None
+        self.idle_decay = float(idle_decay)
+        #: Outbound hook sink: the callback list of the driving run
+        #: (set by the controller when it assembles the list).  Injected
+        #: events and block moves are emitted through it as
+        #: ``on_event`` / ``on_migration``.
+        self.callbacks: Callback = Callback()
         # -- run state --
         self._mode: str | None = None
         self._player = SchedulePlayer(None)
@@ -269,6 +292,43 @@ class AdaptiveRuntime:
         self._cur_batches = 0
 
     # ------------------------------------------------------------------ #
+    # unified callback protocol (both modes)                             #
+    # ------------------------------------------------------------------ #
+    def on_batch(self, info: BatchInfo) -> None:
+        """The runtime's inbound hook on the unified callback protocol.
+
+        The controller (sequential) and pipeline executor (stage scope)
+        emit every trained batch through one callback list; this
+        dispatches to the mode's observation/consultation logic.  In the
+        pipelined schedule the final stage of each micro-batch doubles
+        as the end-of-micro-batch consultation point.
+        """
+        if self._mode == "pipelined":
+            self.on_stage_step(info.block_index, info.step_s, info.n_samples)
+            if info.last_stage:
+                self.after_microbatch()
+        elif self._mode == "sequential":
+            self.sequential_on_batch(info.n_done, info.step_s, info.n_samples)
+        else:
+            raise ConfigError("runtime observed a batch before being bound")
+
+    def _decay_idle_coefficients(self) -> None:
+        """Relax coefficients of alive devices hosting no blocks.
+
+        Such devices produce no observations, so their refined
+        coefficients would otherwise freeze -- an expired load spike
+        would blacklist a vacated device forever.
+        """
+        if self.idle_decay <= 0:
+            return
+        hosting = set(self.placement)
+        for d in range(len(self.cluster)):
+            if d in self._dead or d in hosting:
+                continue
+            if self.monitor.coefficient(d) != 1.0:
+                self.monitor.decay_toward_unit(d, self.idle_decay)
+
+    # ------------------------------------------------------------------ #
     # event injection (both modes)                                       #
     # ------------------------------------------------------------------ #
     @property
@@ -300,6 +360,7 @@ class AdaptiveRuntime:
         self._events_applied.append(
             {"time_s": round(event.time_s, 6), **event_desc(event)}
         )
+        self.callbacks.on_event(event, now)
 
     def _refresh_scales(self, now: float) -> None:
         scales = self._player.scales(now)
@@ -340,6 +401,7 @@ class AdaptiveRuntime:
         now = self.clock.makespan
         self._advance_events(now)
         if self.adapt and self._m % self.check_every == 0:
+            self._decay_idle_coefficients()
             coeffs = self.monitor.coefficients()
             if (
                 self.monitor.any_drift()
@@ -485,6 +547,7 @@ class AdaptiveRuntime:
             else:
                 record = planned_migration(self.cluster, k, dst, worker, now)
             self.migrations.append(record)
+            self.callbacks.on_migration(record, now)
             self.placement[k] = dst
             self.clock.device_of[k] = dst
             self.clock.hold_device(
@@ -533,16 +596,13 @@ class AdaptiveRuntime:
             self.monitor.observe(d, self._seq_base_step(block, d), step_s)
         now = self.ctx.elapsed
         self._advance_events(now)
-        if (
-            self.adapt
-            and self._cur_batches % self.check_every == 0
-            and self.monitor.any_drift()
-            and self._coeffs_differ(
+        if self.adapt and self._cur_batches % self.check_every == 0:
+            self._decay_idle_coefficients()
+            if self.monitor.any_drift() and self._coeffs_differ(
                 self.monitor.coefficients(), self._coeffs_at_last_decision
-            )
-        ):
-            self._replace_future_blocks(block.index)
-            self._record_decision()
+            ):
+                self._replace_future_blocks(block.index)
+                self._record_decision()
         if self.adapt and self._cur_batches % self.checkpoint_every == 0:
             self._checkpoint_sequential()
 
@@ -612,6 +672,7 @@ class AdaptiveRuntime:
                 now=now,
             )
             self.migrations.append(record)
+            self.callbacks.on_migration(record, now)
             self.placement[block.index] = dst
             self.ctx.move_block(block.index, dst)
             self._n_replacements += 1

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.report import common_json_fields, json_num as _num
+
 
 @dataclass(frozen=True)
 class RequestRecord:
@@ -47,6 +49,9 @@ class ServingReport:
     records: list[RequestRecord] = field(default_factory=list)
     n_rejected: int = 0
     serving_time_s: float = 0.0
+    #: Full server ledger by cost category (set by the server at the end
+    #: of the stream; the serving loop charges only ``serving``).
+    ledger_totals: dict[str, float] = field(default_factory=dict)
 
     # -- aggregates ----------------------------------------------------------
     @property
@@ -109,6 +114,52 @@ class ServingReport:
         if not scored:
             return float("nan")
         return sum(r.correct for r in scored) / len(scored)
+
+    # -- unified report protocol (repro.api.report.Report) -------------------
+    @property
+    def wall_clock_s(self) -> float:
+        """Stream start to last completion (the serving makespan)."""
+        return self.makespan_s
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """The serving simulator does not model GPU residency."""
+        return 0
+
+    def ledger_summary(self) -> dict[str, float]:
+        if self.ledger_totals:
+            return dict(self.ledger_totals)
+        return {"serving": self.serving_time_s, "total": self.serving_time_s}
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable serving report (unified schema head)."""
+        out = common_json_fields(self, kind="serving")
+        out.update(
+            {
+                "platform": self.platform_name,
+                "pattern": self.pattern,
+                "arrival_rate": self.arrival_rate,
+                "duration_s": self.duration_s,
+                "mode": self.mode,
+                "num_exits": self.num_exits,
+                "n_completed": self.n_completed,
+                "n_rejected": self.n_rejected,
+                "rejection_rate": _num(self.rejection_rate),
+                "throughput_rps": _num(self.throughput_rps),
+                "p50_latency_s": _num(self.latency_percentile(50)),
+                "p95_latency_s": _num(self.latency_percentile(95)),
+                "p99_latency_s": _num(self.latency_percentile(99)),
+                "mean_latency_s": _num(self.mean_latency_s),
+                "mean_batch_size": _num(self.mean_batch_size),
+                "exit_counts": self.exit_counts,
+                "accuracy": _num(self.accuracy),
+            }
+        )
+        return out
+
+    def summary(self) -> str:
+        """Unified-protocol alias for :meth:`table`."""
+        return self.table()
 
     # -- presentation --------------------------------------------------------
     def table(self) -> str:

@@ -144,6 +144,7 @@ class InferenceServer:
             report.records.extend(self._serve_batch(plan.requests, plan.dispatch_s))
             free_s = report.records[-1].completion_s
         report.serving_time_s = self.sim.ledger.serving
+        report.ledger_totals = self.sim.ledger.as_dict()
         return report
 
 

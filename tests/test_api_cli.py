@@ -1,0 +1,178 @@
+"""The ``repro run`` subcommand and the legacy-wrapper deprecation path."""
+
+import json
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro.cli as cli
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parent.parent
+QUICK = REPO / "examples/specs/quick.json"
+
+
+class TestRunSubcommand:
+    def test_run_quick_spec(self, capsys):
+        assert main(["run", str(QUICK)]) == 0
+        out = capsys.readouterr().out
+        assert "NeuroFlux run" in out or "Parallel NeuroFlux run" in out
+        assert "exit layer" in out
+
+    def test_run_backend_override_and_report_json(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "run",
+                    str(QUICK),
+                    "--backend",
+                    "federated-async",
+                    "--report-json",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "asynchronous" in out
+        report = json.loads(report_path.read_text())
+        assert {"schema", "kind", "wall_clock_s", "peak_memory_bytes", "ledger"} <= set(
+            report
+        )
+        assert report["kind"] == "federated-async"
+        assert report["ledger"]["total"] >= 0
+
+    def test_run_serving_backend_report(self, capsys, tmp_path):
+        report_path = tmp_path / "serving.json"
+        assert (
+            main(
+                [
+                    "run",
+                    str(QUICK),
+                    "--backend",
+                    "serving",
+                    "--report-json",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        assert "p95 latency" in capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert report["kind"] == "serving"
+        assert report["peak_memory_bytes"] == 0
+
+    def test_malformed_json_exits_2_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "broken.json"
+        bad.write_text('{"backend": "sequential",')
+        assert main(["run", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "malformed JSON" in err
+        assert "Traceback" not in err
+
+    def test_missing_spec_file_exits_2(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_invalid_spec_names_section(self, capsys, tmp_path):
+        bad = tmp_path / "conflict.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "backend": "pipelined",
+                    "cluster": {"devices": ["nano"]},
+                    "federated": {"n_clients": 2},
+                }
+            )
+        )
+        assert main(["run", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "[federated]" in err
+        assert "Traceback" not in err
+
+    def test_malformed_json_subprocess_no_traceback(self, tmp_path):
+        """The full process contract: exit code 2, no traceback on stderr."""
+        bad = tmp_path / "broken.json"
+        bad.write_text("{nope")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "run", str(bad)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 2, proc.stderr[-500:]
+        assert "malformed JSON" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_run_listed_in_cli_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "run" in capsys.readouterr().out
+
+
+class TestLegacyDeprecation:
+    def _collect_legacy_warnings(self, argv):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            main(argv)
+        return [
+            w
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+            and "legacy entry point" in str(w.message)
+        ]
+
+    def test_serve_warns_once_per_process(self, capsys, monkeypatch):
+        monkeypatch.setattr(cli, "_LEGACY_WARNED", False)
+        # Bad inputs keep the runs cheap; the warning fires before parsing.
+        first = self._collect_legacy_warnings(["serve", "--platform", "tpu-v9"])
+        assert len(first) == 1
+        assert "repro.cli run" in str(first[0].message)
+        second = self._collect_legacy_warnings(["serve", "--platform", "tpu-v9"])
+        assert second == []  # once per process
+        capsys.readouterr()
+
+    def test_parallel_warns_and_shares_the_once_guard(self, capsys, monkeypatch):
+        monkeypatch.setattr(cli, "_LEGACY_WARNED", False)
+        first = self._collect_legacy_warnings(["parallel", "--epochs", "0"])
+        assert len(first) == 1
+        second = self._collect_legacy_warnings(["serve", "--platform", "tpu-v9"])
+        assert second == []
+        capsys.readouterr()
+
+    def test_parallel_output_unchanged_by_spec_path(self, capsys):
+        """The legacy wrapper's stdout must match driving the engine
+        directly with the arguments the subcommand has always used."""
+        args = ["parallel", "--schedule", "sequential", "--epochs", "1",
+                "--devices", "agx-orin", "agx-orin"]
+        assert main(args) == 0
+        cli_out = capsys.readouterr().out
+
+        from repro.core.config import NeuroFluxConfig
+        from repro.core.controller import NeuroFlux
+        from repro.data.registry import dataset_spec
+        from repro.models.zoo import build_model
+        from repro.parallel import Cluster
+
+        data = dataset_spec(
+            "cifar10", num_classes=4, image_hw=(16, 16), scale=0.01,
+            noise_std=0.4, seed=7,
+        ).materialize()
+        model = build_model(
+            "vgg11", num_classes=4, input_hw=(16, 16),
+            width_multiplier=0.25, seed=3,
+        )
+        system = NeuroFlux(
+            model, data, memory_budget=int(3.0 * 2**20),
+            config=NeuroFluxConfig(batch_limit=64, seed=0),
+        )
+        legacy = system.train_parallel(
+            Cluster.from_names(["agx-orin", "agx-orin"]),
+            epochs=1,
+            schedule="sequential",
+        )
+        assert cli_out == legacy.summary() + "\n"

@@ -85,3 +85,71 @@ class TestDriftDetection:
         for _ in range(5):
             monitor.observe(0, predicted_s=1.0, observed_s=0.25)
         assert monitor.drifted(0)
+
+
+class TestIdleDecay:
+    """PR-4 follow-up: vacated devices must not stay blacklisted forever."""
+
+    def test_decay_moves_coefficient_toward_unit(self):
+        monitor = DriftMonitor(n_devices=2)
+        monitor.observe(1, predicted_s=1.0, observed_s=3.0)
+        monitor.decay_toward_unit(1, rate=0.5)
+        assert monitor.coefficient(1) == pytest.approx(2.0)
+        monitor.decay_toward_unit(1, rate=0.5)
+        assert monitor.coefficient(1) == pytest.approx(1.5)
+
+    def test_decay_works_below_unit_too(self):
+        monitor = DriftMonitor(n_devices=1)
+        monitor.observe(0, predicted_s=1.0, observed_s=0.2)
+        monitor.decay_toward_unit(0, rate=0.5)
+        assert monitor.coefficient(0) == pytest.approx(0.6)
+
+    def test_repeated_decay_clears_drift(self):
+        """An expired load spike stops blacklisting the device."""
+        monitor = DriftMonitor(n_devices=1, drift_threshold=0.25, min_samples=2)
+        for _ in range(3):
+            monitor.observe(0, predicted_s=1.0, observed_s=4.0)
+        assert monitor.drifted(0)
+        for _ in range(20):
+            monitor.decay_toward_unit(0, rate=0.25)
+        assert not monitor.drifted(0)
+        assert monitor.coefficient(0) == pytest.approx(1.0, abs=0.02)
+
+    def test_decay_is_idempotent_at_unit(self):
+        monitor = DriftMonitor(n_devices=1)
+        monitor.decay_toward_unit(0, rate=0.5)
+        assert monitor.coefficient(0) == 1.0
+
+    def test_decay_rate_validation(self):
+        monitor = DriftMonitor(n_devices=1)
+        with pytest.raises(ConfigError):
+            monitor.decay_toward_unit(0, rate=-0.1)
+        with pytest.raises(ConfigError):
+            monitor.decay_toward_unit(0, rate=1.5)
+
+    def test_runtime_decays_only_idle_alive_devices(self):
+        """The runtime relaxes exactly the alive devices hosting nothing."""
+        from repro.runtime import AdaptiveRuntime
+        from repro.runtime.events import SchedulePlayer
+
+        runtime = AdaptiveRuntime(idle_decay=0.5)
+        runtime.monitor = DriftMonitor(n_devices=3)
+        runtime.cluster = [object(), object(), object()]
+        runtime.placement = [0, 0]          # device 1 idle, device 2 idle
+        runtime._player = SchedulePlayer(None)
+        runtime._player.failed.add(2)       # ... but device 2 is dead
+        runtime.monitor.observe(0, 1.0, 3.0)
+        runtime.monitor.observe(1, 1.0, 3.0)
+        runtime.monitor.observe(2, 1.0, 3.0)
+        runtime._decay_idle_coefficients()
+        assert runtime.monitor.coefficient(0) == pytest.approx(3.0)  # hosting
+        assert runtime.monitor.coefficient(1) == pytest.approx(2.0)  # idle
+        assert runtime.monitor.coefficient(2) == pytest.approx(3.0)  # dead
+
+    def test_runtime_idle_decay_knob_validation(self):
+        from repro.runtime import AdaptiveRuntime
+
+        with pytest.raises(ConfigError):
+            AdaptiveRuntime(idle_decay=-0.1)
+        with pytest.raises(ConfigError):
+            AdaptiveRuntime(idle_decay=1.1)
