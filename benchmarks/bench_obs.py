@@ -1,0 +1,15 @@
+#!/usr/bin/env python
+"""Observability overhead benchmark: traced vs untraced hot paths.
+
+Thin wrapper around :mod:`repro.obs.bench`; writes the committed
+``BENCH_obs.json`` (``--quick --check`` is the CI gate asserting the
+zero-when-disabled contract: < 1% with tracing off, < 10% end-to-end
+with tracing on).
+"""
+
+import sys
+
+from repro.obs.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

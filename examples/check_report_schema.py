@@ -19,7 +19,7 @@ try:
     from repro.api import REPORT_SCHEMA_KEYS as REQUIRED_KEYS
 except ImportError:  # standalone use without PYTHONPATH=src
     REQUIRED_KEYS = frozenset(
-        {"schema", "kind", "wall_clock_s", "peak_memory_bytes", "ledger"}
+        {"schema", "kind", "wall_clock_s", "peak_memory_bytes", "ledger", "metrics"}
     )
 
 
@@ -37,7 +37,18 @@ def check(path: str) -> None:
             raise AssertionError(f"{path}: ledger[{key!r}] = {value} is negative")
     if report["peak_memory_bytes"] < 0:
         raise AssertionError(f"{path}: negative peak_memory_bytes")
-    print(f"{path}: ok (kind={report['kind']}, total={ledger['total']:.3f}s)")
+    metrics = report["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        raise AssertionError(f"{path}: metrics must be a non-empty dict")
+    for key, entry in metrics.items():
+        if not isinstance(entry, dict) or "type" not in entry:
+            raise AssertionError(
+                f"{path}: metrics[{key!r}] must be a dict with a type"
+            )
+    print(
+        f"{path}: ok (kind={report['kind']}, total={ledger['total']:.3f}s, "
+        f"{len(metrics)} metrics)"
+    )
 
 
 def main(argv: list[str]) -> int:

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON (and metrics snapshots) from repro.obs.
+
+Used by CI after running ``repro run ... --trace-out`` / ``--metrics-out``::
+
+    python examples/check_trace_schema.py trace.json \
+        --require-category train --require-category communication \
+        --require-category runtime-decision \
+        --metrics metrics.json
+
+Checks the trace is loadable Chrome trace-event JSON (the shape Perfetto
+and chrome://tracing accept): a ``traceEvents`` list whose entries carry
+the phase-appropriate fields, with non-negative durations, matched
+begin/end pairs for async events, matched ``s``/``f`` pairs for flow
+arrows, and a named thread (track) row for every tid used.  The optional
+``--metrics`` file must be a ``{"schema": 1, "metrics": {...}}`` snapshot
+whose entries all carry a ``type``.
+
+Stdlib-only on purpose: it must run without PYTHONPATH=src.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Phases repro.obs emits: M (metadata), X (complete), i (instant),
+#: b/e (async begin/end), s/f (flow start/finish).
+KNOWN_PHASES = {"M", "X", "i", "b", "e", "s", "f"}
+
+
+def fail(path: str, message: str) -> None:
+    raise AssertionError(f"{path}: {message}")
+
+
+def check_trace(path: str, require_categories: list[str]) -> None:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        fail(path, 'must be an object with a "traceEvents" list')
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents must be a non-empty list")
+
+    named_tids: set[int] = set()
+    used_tids: set[int] = set()
+    categories: dict[str, int] = {}
+    async_open: dict = {}
+    flow_starts: dict = {}
+    flow_ends: dict = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(path, f"event {i} is not an object")
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(path, f"event {i} has unknown phase {ph!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                fail(path, f"event {i} (ph={ph}) lacks {key!r}")
+        if ph == "M":
+            if event["name"] == "thread_name":
+                named_tids.add(event["tid"])
+            continue
+        if "ts" not in event:
+            fail(path, f"event {i} (ph={ph}) lacks a timestamp")
+        if event["ts"] < 0:
+            fail(path, f"event {i} has negative timestamp {event['ts']}")
+        used_tids.add(event["tid"])
+        cat = event.get("cat")
+        if not cat:
+            fail(path, f"event {i} (ph={ph}) lacks a category")
+        if ph == "X":
+            if "dur" not in event:
+                fail(path, f"complete event {i} lacks dur")
+            if event["dur"] < 0:
+                fail(path, f"complete event {i} has negative dur {event['dur']}")
+            categories[cat] = categories.get(cat, 0) + 1
+        elif ph == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                fail(path, f"instant event {i} lacks a scope")
+            categories[cat] = categories.get(cat, 0) + 1
+        elif ph == "b":
+            if "id" not in event:
+                fail(path, f"async begin {i} lacks an id")
+            if event["id"] in async_open:
+                fail(path, f"async id {event['id']} begun twice")
+            async_open[event["id"]] = event
+            categories[cat] = categories.get(cat, 0) + 1
+        elif ph == "e":
+            begin = async_open.pop(event.get("id"), None)
+            if begin is None:
+                fail(path, f"async end {i} has no matching begin")
+            if event["ts"] < begin["ts"]:
+                fail(path, f"async id {event['id']} ends before it begins")
+        elif ph == "s":
+            if "id" not in event:
+                fail(path, f"flow start {i} lacks an id")
+            flow_starts[event["id"]] = event
+        elif ph == "f":
+            if event.get("bp") != "e":
+                fail(path, f"flow finish {i} lacks bp=e (enclosing binding)")
+            flow_ends[event.get("id")] = event
+    if async_open:
+        fail(path, f"unterminated async event id(s) {sorted(async_open)}")
+    if set(flow_starts) != set(flow_ends):
+        fail(
+            path,
+            f"unmatched flow id(s): starts {sorted(flow_starts)} "
+            f"vs finishes {sorted(flow_ends)}",
+        )
+    unnamed = used_tids - named_tids
+    if unnamed:
+        fail(path, f"tid(s) {sorted(unnamed)} have no thread_name metadata")
+    missing = [c for c in require_categories if c not in categories]
+    if missing:
+        fail(
+            path,
+            f"required categor{'y' if len(missing) == 1 else 'ies'} "
+            f"{missing} absent (present: {sorted(categories)})",
+        )
+    print(
+        f"{path}: ok ({len(events)} events, {len(named_tids)} tracks, "
+        f"{len(flow_starts)} flows, categories {sorted(categories)})"
+    )
+
+
+def check_metrics(path: str) -> None:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("schema") != 1:
+        fail(path, "must be an object with schema=1")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail(path, "metrics must be a non-empty dict")
+    for key, entry in metrics.items():
+        if not isinstance(entry, dict):
+            fail(path, f"metrics[{key!r}] must be an object")
+        if entry.get("type") not in ("counter", "gauge", "histogram"):
+            fail(path, f"metrics[{key!r}] has unknown type {entry.get('type')!r}")
+        if entry["type"] == "histogram" and "count" not in entry:
+            fail(path, f"histogram {key!r} lacks a count")
+    print(f"{path}: ok ({len(metrics)} metrics)")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate repro.obs Chrome-trace and metrics JSON files."
+    )
+    parser.add_argument("traces", nargs="+", help="Chrome trace-event JSON files")
+    parser.add_argument(
+        "--require-category",
+        action="append",
+        default=[],
+        metavar="CAT",
+        help="fail unless the trace contains this span category (repeatable)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="also validate a metrics-registry snapshot JSON (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    for path in args.traces:
+        check_trace(path, args.require_category)
+    for path in args.metrics:
+        check_metrics(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -54,6 +54,7 @@ _EXPORTS = {
     "FederatedSection": "repro.api.spec",
     "JobSpec": "repro.api.spec",
     "ModelSection": "repro.api.spec",
+    "ObservabilitySection": "repro.api.spec",
     "RuntimeSection": "repro.api.spec",
     "ServingSection": "repro.api.spec",
     # registry + entry point

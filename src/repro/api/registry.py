@@ -107,11 +107,27 @@ class Backend:
     def run(self, spec, callbacks: Callback | list[Callback] | None = None):
         """Materialize the spec, run the job, return its report."""
         cbs = as_callback_list(callbacks)
+        obs = self._observability_callbacks(spec)
+        if obs:
+            # A fresh list (never mutate the caller's CallbackList), obs
+            # callbacks after user callbacks so user hooks observe the
+            # job before its trace/metrics files are finalized.
+            cbs = CallbackList(list(cbs) + obs)
         context = self.prepare(spec)
         cbs.on_job_start(context)
         context.report = self.execute(context, cbs)
         cbs.on_job_end(context)
         return context.report
+
+    @staticmethod
+    def _observability_callbacks(spec) -> list[Callback]:
+        """Callbacks for the spec's ``observability`` section (if any)."""
+        section = getattr(spec, "observability", None)
+        if section is None:
+            return []
+        from repro.obs.callbacks import build_observability_callbacks
+
+        return build_observability_callbacks(section)
 
     # -- to implement ------------------------------------------------------
     def prepare(self, spec) -> JobContext:

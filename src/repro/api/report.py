@@ -26,7 +26,7 @@ from typing import Protocol, runtime_checkable
 #: Keys guaranteed present in every report's ``to_json_dict()`` -- the
 #: contract the CI smoke step and downstream tooling assert against.
 REPORT_SCHEMA_KEYS = frozenset(
-    {"schema", "kind", "wall_clock_s", "peak_memory_bytes", "ledger"}
+    {"schema", "kind", "wall_clock_s", "peak_memory_bytes", "ledger", "metrics"}
 )
 
 
@@ -61,13 +61,20 @@ def merge_ledger_summaries(ledgers: list[dict[str, float]]) -> dict[str, float]:
 
 def common_json_fields(report: Report, kind: str, schema: int = 1) -> dict:
     """The shared ``to_json_dict`` head every report starts from."""
-    return {
+    out = {
         "schema": schema,
         "kind": kind,
         "wall_clock_s": json_num(report.wall_clock_s),
         "peak_memory_bytes": int(report.peak_memory_bytes),
         "ledger": {k: json_num(v) for k, v in report.ledger_summary().items()},
     }
+    # Duck-typed so this module stays import-light: a report that exposes
+    # a metrics_registry() (all five built-in backends do) gets its
+    # snapshot embedded under the "metrics" schema key.
+    registry_fn = getattr(report, "metrics_registry", None)
+    if callable(registry_fn):
+        out["metrics"] = registry_fn().snapshot()
+    return out
 
 
 def json_num(x: float | None) -> float | None:

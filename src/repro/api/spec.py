@@ -2,9 +2,9 @@
 
 A :class:`JobSpec` is composed of typed sections -- ``model``, ``data``,
 ``neuroflux`` (wrapping :class:`~repro.core.config.NeuroFluxConfig`),
-``cluster``, ``runtime``, ``federated``, ``serving``, ``budgets`` --
-plus two scalars: the ``backend`` that executes it and the single-device
-``platform``.  Specs are JSON-round-trippable (``from_dict`` /
+``cluster``, ``runtime``, ``federated``, ``serving``, ``budgets``,
+``observability`` -- plus two scalars: the ``backend`` that executes it
+and the single-device ``platform``.  Specs are JSON-round-trippable (``from_dict`` /
 ``to_dict`` / ``from_json_file``), and every validation failure raises a
 structured :class:`~repro.errors.SpecError` naming the offending
 section.
@@ -261,6 +261,37 @@ class ServingSection:
 
 
 @dataclass
+class ObservabilitySection:
+    """Tracing/metrics sinks for the run (see :mod:`repro.obs`).
+
+    Backend-agnostic: any backend accepts it, and the registry turns it
+    into the corresponding :mod:`repro.obs` callbacks.  All fields
+    default to "off", so an empty section is a no-op.
+    """
+
+    _section = "observability"
+
+    #: Chrome trace-event JSON (open in Perfetto / chrome://tracing).
+    trace_path: str | None = None
+    #: Compact one-JSON-object-per-span log.
+    trace_jsonl_path: str | None = None
+    #: Metrics-registry snapshot JSON.
+    metrics_path: str | None = None
+    #: Per-epoch/round/request progress lines on stderr.
+    progress: bool = False
+    #: One CSV row per epoch/round (loss, accuracy, wall-clock).
+    csv_path: str | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("trace_path", "trace_jsonl_path", "metrics_path", "csv_path"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, str):
+                raise SpecError("observability", f"{name} must be a path string")
+        if not isinstance(self.progress, bool):
+            raise SpecError("observability", "progress must be a boolean")
+
+
+@dataclass
 class BudgetsSection:
     """Resource envelope: training memory, epochs, optional time budget."""
 
@@ -300,6 +331,7 @@ class JobSpec:
     runtime: RuntimeSection | None = None
     federated: FederatedSection | None = None
     serving: ServingSection | None = None
+    observability: ObservabilitySection | None = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -409,7 +441,7 @@ class JobSpec:
         out["data"] = _jsonify(dataclasses.asdict(self.data))
         out["neuroflux"] = self.neuroflux.to_dict()
         out["budgets"] = _jsonify(dataclasses.asdict(self.budgets))
-        for name in ("cluster", "runtime", "federated", "serving"):
+        for name in ("cluster", "runtime", "federated", "serving", "observability"):
             section = getattr(self, name)
             if section is not None:
                 out[name] = _jsonify(dataclasses.asdict(section))
@@ -442,6 +474,7 @@ class JobSpec:
             "runtime",
             "federated",
             "serving",
+            "observability",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -516,6 +549,7 @@ _SECTION_TYPES: dict[str, type] = {
     "runtime": RuntimeSection,
     "federated": FederatedSection,
     "serving": ServingSection,
+    "observability": ObservabilitySection,
 }
 
 

@@ -132,6 +132,35 @@ def build_run_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the unified report (to_json_dict) to PATH",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON (Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="write a compact one-JSON-object-per-span log",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics-registry snapshot JSON",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-epoch/round progress lines on stderr",
+    )
+    parser.add_argument(
+        "--csv-out",
+        default=None,
+        metavar="PATH",
+        help="write one CSV row per epoch/round (loss, accuracy, wall-clock)",
+    )
     return parser
 
 
@@ -155,11 +184,26 @@ def _write_report_json(path: str, report) -> None:
 
 
 def _run_run(argv: list[str]) -> int:
-    from repro.api import JobSpec
+    from repro.api import JobSpec, ObservabilitySection
     from repro.api import run as run_job
 
     args = build_run_parser().parse_args(argv)
     spec = JobSpec.from_json_file(args.spec, backend=args.backend)
+    # CLI observability flags override the spec's section field-by-field
+    # (a flag left at its default leaves the spec's value alone).
+    flags = {
+        "trace_path": args.trace_out,
+        "trace_jsonl_path": args.trace_jsonl,
+        "metrics_path": args.metrics_out,
+        "progress": args.progress or None,
+        "csv_path": args.csv_out,
+    }
+    set_flags = {k: v for k, v in flags.items() if v is not None}
+    if set_flags:
+        section = spec.observability or ObservabilitySection()
+        for key, value in set_flags.items():
+            setattr(section, key, value)
+        spec.observability = section
     print(
         f"running {spec.model.name} job on backend {spec.backend!r}...",
         file=sys.stderr,

@@ -36,6 +36,7 @@ from repro.hw.simulator import ExecutionSimulator
 from repro.memory.tracker import SimulatedGpu
 from repro.models.base import ConvNet
 from repro.nn import make_optimizer
+from repro.obs.trace import active_tracer
 from repro.perf import BufferPool
 from repro.training.common import HistoryPoint, TrainResult, evaluate_classifier
 from repro.utils.rng import spawn_rng
@@ -73,6 +74,12 @@ class _SingleDeviceContext:
     @property
     def profiling_sim(self) -> ExecutionSimulator:
         return self.sim
+
+    def attach_tracer(self, tracer) -> None:
+        self.sim.attach_tracer(tracer, "dev0")
+
+    def detach_tracer(self) -> None:
+        self.sim.detach_tracer()
 
     def handoff(self, from_block: int, to_block: int, nbytes: int) -> float:
         """Move cached activations between consecutive blocks (free here)."""
@@ -149,6 +156,14 @@ class _ClusterSequentialContext:
     @property
     def profiling_sim(self) -> ExecutionSimulator:
         return self.cluster[self.placement[0]].sim
+
+    def attach_tracer(self, tracer) -> None:
+        for d, device in enumerate(self.cluster):
+            device.sim.attach_tracer(tracer, f"dev{d}")
+
+    def detach_tracer(self) -> None:
+        for device in self.cluster:
+            device.sim.detach_tracer()
 
     def handoff(self, from_block: int, to_block: int, nbytes: int) -> float:
         if to_block >= len(self.placement):
@@ -416,6 +431,12 @@ class NeuroFlux:
         cfg = self.config
         store = ActivationStore(cfg.cache_dir)
         self._attach_workspaces()
+        # Route every device charge of this run to the active tracer (one
+        # track per device); detached in the finally below so the shared
+        # cluster simulators never leak spans into a later run.
+        tracer = active_tracer()
+        if tracer is not None:
+            ctx.attach_tracer(tracer)
         blocks, profiling_flops = self.plan() if plan is None else plan
         profiling_time = self._charge_profiling(ctx.profiling_sim, profiling_flops)
 
@@ -453,13 +474,20 @@ class NeuroFlux:
         try:
             for block in blocks:
                 sim = ctx.sim_for_block(block.index)
+                if tracer is not None:
+                    sim.trace_scope = f"block{block.index}"
                 # §3.1: load the block into GPU memory, others to storage.
                 block_specs = [self.specs[i] for i in block.layer_indices]
                 block_aux = [self.aux_heads[i] for i in block.layer_indices]
                 block_param_bytes = sum(
                     s.module.parameter_bytes() for s in block_specs
                 ) + sum(a.parameter_bytes() for a in block_aux)
-                sim.ledger.overhead += sim.storage_time(block_param_bytes, n_ops=1)
+                sim.charge(
+                    "overhead",
+                    sim.storage_time(block_param_bytes, n_ops=1),
+                    span="cache_io",
+                    name=f"load-block{block.index}",
+                )
                 residency = self._block_residency_bytes(block)
                 ctx.alloc_block(block.index, residency)
                 worker = self._build_worker(block, sim)
@@ -496,6 +524,8 @@ class NeuroFlux:
                     # (device failure): charge all follow-up work on the
                     # device that actually hosts it now.
                     sim = ctx.sim_for_block(block.index)
+                    if tracer is not None:
+                        sim.trace_scope = f"block{block.index}"
                     # History: best exit accuracy among the layers trained
                     # so far, evaluated on a capped validation subset.
                     feats = val_feats_sub
@@ -577,6 +607,8 @@ class NeuroFlux:
             report.profiling_time_s = profiling_time
         finally:
             self._detach_workspaces()
+            if tracer is not None:
+                ctx.detach_tracer()
             store.close()
         return report
 
@@ -731,6 +763,19 @@ class NeuroFlux:
                         f"{device.memory_budget} B budget"
                     )
         predicted = predict_makespan(problem, placement)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "placement",
+                "runtime-decision",
+                "runtime",
+                0.0,
+                attrs={
+                    "schedule": schedule,
+                    "placement": list(placement),
+                    "predicted_makespan_s": round(predicted, 9),
+                },
+            )
         base_ledgers = cluster.ledger_snapshot()
 
         if schedule == "sequential":

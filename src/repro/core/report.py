@@ -60,6 +60,22 @@ class NeuroFluxReport:
         """Simulated seconds by cost category (includes ``total``)."""
         return self.result.ledger.as_dict()
 
+    def metrics_registry(self):
+        """The run's metrics (embedded in the report JSON)."""
+        from repro.obs.metrics import report_base_metrics
+
+        reg = report_base_metrics(self)
+        reg.counter("epochs_total").inc(self.result.epochs)
+        reg.counter("blocks_total").inc(len(self.blocks))
+        reg.counter("cache_bytes_written_total").inc(self.cache_bytes_written)
+        reg.gauge("exit_layer").set(self.exit_layer)
+        reg.gauge("exit_test_accuracy").set(self.exit_test_accuracy)
+        reg.gauge("compression_factor").set(self.compression_factor)
+        block_seconds = reg.histogram("block_train_seconds")
+        for block_report in self.block_reports:
+            block_seconds.observe(block_report.sim_time_s)
+        return reg
+
     def to_json_dict(self) -> dict:
         """JSON-serializable run report (unified schema head + specifics)."""
         out = common_json_fields(self, kind="neuroflux")

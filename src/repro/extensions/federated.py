@@ -46,6 +46,7 @@ from repro.data.datasets import SyntheticImageDataset
 from repro.errors import ConfigError
 from repro.hw.platforms import AGX_ORIN, WAN_100MBIT, Link, Platform
 from repro.models.zoo import build_model
+from repro.obs.trace import active_tracer, no_tracing
 from repro.parallel.cluster import Cluster, Device, ledger_delta
 from repro.training.common import evaluate_classifier
 
@@ -117,6 +118,25 @@ class FederatedResult:
 
     def ledger_summary(self) -> dict[str, float]:
         return merge_ledger_summaries(self.device_ledgers)
+
+    def metrics_registry(self):
+        """The federated run's metrics (embedded in the report JSON)."""
+        from repro.obs.metrics import report_base_metrics
+
+        reg = report_base_metrics(self)
+        reg.counter("rounds_total").inc(len(self.rounds))
+        reg.gauge("final_accuracy").set(self.final_accuracy)
+        round_seconds = reg.histogram("round_seconds")
+        comm = reg.counter("communication_seconds_total")
+        for r in self.rounds:
+            round_seconds.observe(r.sim_time_s)
+            comm.inc(r.communication_time_s)
+        for c, ledger in enumerate(self.device_ledgers):
+            for category, seconds in ledger.items():
+                reg.counter(
+                    "client_ledger_seconds_total", client=c, category=category
+                ).inc(seconds)
+        return reg
 
     def to_json_dict(self) -> dict:
         out = common_json_fields(self, kind="federated")
@@ -200,6 +220,26 @@ class AsyncFederatedResult:
 
     def ledger_summary(self) -> dict[str, float]:
         return merge_ledger_summaries(self.device_ledgers)
+
+    def metrics_registry(self):
+        """The async federated run's metrics (embedded in the report JSON)."""
+        from repro.obs.metrics import report_base_metrics
+
+        reg = report_base_metrics(self)
+        reg.counter("updates_applied_total").inc(self.n_applied)
+        reg.counter("updates_rejected_total").inc(self.n_rejected)
+        reg.counter("clients_dropped_total").inc(len(self.dropped_clients))
+        reg.gauge("final_accuracy").set(self.final_accuracy)
+        reg.gauge("mean_staleness").set(self.mean_staleness)
+        staleness = reg.histogram("update_staleness")
+        for update in self.applied:
+            staleness.observe(update.staleness)
+        for c, ledger in enumerate(self.device_ledgers):
+            for category, seconds in ledger.items():
+                reg.counter(
+                    "client_ledger_seconds_total", client=c, category=category
+                ).inc(seconds)
+        return reg
 
     def to_json_dict(self) -> dict:
         out = common_json_fields(self, kind="federated-async")
@@ -323,6 +363,12 @@ class FederatedNeuroFlux:
             raise ConfigError("rounds must be >= 1")
         cbs = as_callback_list(callbacks)
         base_ledgers = self._snapshot_for_run()
+        # Each client's spans ride its own device clock (track
+        # ``client{id}``); the server's round spans ride the synchronous
+        # round clock (straggler-paced).  The client's *inner* NeuroFlux
+        # run is suppressed via no_tracing() -- its device clock restarts
+        # at zero and would pollute the federation timeline.
+        tracer = active_tracer()
         history: list[FederatedRound] = []
         total_time = 0.0
         for round_idx in range(rounds):
@@ -343,6 +389,13 @@ class FederatedNeuroFlux:
                 weights.append(float(client.n_samples))
                 times.append(device.sim.elapsed - t0)
                 exit_layers.append(exit_layer)
+                if tracer is not None:
+                    tracer.add_span(
+                        f"round{round_idx}", "train",
+                        f"client{client.client_id}", t0, device.sim.elapsed,
+                        attrs={"exit_layer": exit_layer,
+                               "comm_s": round(comm, 9)},
+                    )
             self._global_state = federated_average(states, weights)
             self._global_model.load_state_dict(self._global_state)
             self._global_aux_states = [
@@ -356,6 +409,13 @@ class FederatedNeuroFlux:
             # delta, compute + communication) sets the round latency.
             round_time = max(times)
             total_time += round_time
+            if tracer is not None:
+                tracer.add_span(
+                    f"round{round_idx}", "round", "server",
+                    total_time - round_time, total_time,
+                    attrs={"accuracy": round(acc, 6),
+                           "n_clients": len(times)},
+                )
             history.append(
                 FederatedRound(
                     round_idx,
@@ -408,7 +468,12 @@ class FederatedNeuroFlux:
         )
         for head, state in zip(nf.aux_heads, self._global_aux_states):
             head.load_state_dict(state)
-        report = nf.run(local_epochs)
+        # The client's local run is a full nested NeuroFlux job on a clock
+        # that restarts at zero; its spans would pollute the federation
+        # timeline, so tracing is suppressed -- the caller emits one span
+        # per client round instead.
+        with no_tracing():
+            report = nf.run(local_epochs)
         self._peak_memory = max(self._peak_memory, report.result.peak_memory_bytes)
         ledger = report.result.ledger
         if device.sim.time_scale != 1.0:
@@ -484,6 +549,9 @@ class FederatedNeuroFlux:
                 )
         cbs = as_callback_list(callbacks)
         base_ledgers = self._snapshot_for_run()
+        # Client spans ride each device's own clock; server-side
+        # apply/reject decisions are instants on the shared event clock.
+        tracer = active_tracer()
         # The runtime's schedule player owns the event semantics (window
         # expiry, scale combination, failure dedup); here a "device" is a
         # client and failure means the client drops out of the federation.
@@ -534,6 +602,11 @@ class FederatedNeuroFlux:
                 staleness = version - v0
                 if staleness > max_staleness:
                     n_rejected += 1
+                    if tracer is not None:
+                        tracer.instant(
+                            f"reject-stale-client{client_id}", "round",
+                            "server", t, {"staleness": staleness},
+                        )
                     continue
                 alpha = base_mix / (1 + staleness)
                 self._global_state = federated_average(
@@ -545,6 +618,12 @@ class FederatedNeuroFlux:
                 ]
                 version += 1
                 applied.append(AppliedUpdate(t, client_id, staleness, alpha))
+                if tracer is not None:
+                    tracer.instant(
+                        f"apply-client{client_id}", "round", "server", t,
+                        {"staleness": staleness,
+                         "mix_weight": round(alpha, 6)},
+                    )
                 # Each applied update is one global-model step: the epoch
                 # analogue on the unified callback protocol.
                 cbs.on_epoch_end(
@@ -572,6 +651,12 @@ class FederatedNeuroFlux:
                 state, aux_states, exit_layer, _ = self._run_client_once(
                     client, device, local_epochs
                 )
+                if tracer is not None:
+                    tracer.add_span(
+                        "local-round", "train", f"client{client_id}",
+                        t0, device.sim.elapsed,
+                        attrs={"version": v0, "exit_layer": exit_layer},
+                    )
                 if rounds_left[client_id] > 0:
                     rounds_left[client_id] -= 1
                 pending.push(

@@ -42,6 +42,16 @@ class TimeLedger:
         d["total"] = self.total
         return d
 
+    @classmethod
+    def category_names(cls) -> list[str]:
+        """Every cost category, in declaration order (no ``total``).
+
+        The single source of truth for code that must enumerate the
+        categories (serving report fallbacks, metrics export): a category
+        added above automatically appears everywhere.
+        """
+        return [f.name for f in fields(cls)]
+
 
 @dataclass
 class ExecutionSimulator:
@@ -59,6 +69,57 @@ class ExecutionSimulator:
     platform: Platform
     ledger: TimeLedger = field(default_factory=TimeLedger)
     time_scale: float = 1.0
+    #: Optional span sink (:class:`repro.obs.trace.Tracer`).  ``None`` by
+    #: default: every charge path guards on it with one ``is not None``
+    #: check, the zero-when-disabled contract bench_obs enforces.
+    tracer: object | None = field(default=None, repr=False, compare=False)
+    #: Trace track charges land on (one per simulated device).
+    trace_track: str = field(default="dev0", repr=False, compare=False)
+    #: Span-name override while a scope is active (e.g. ``block2``).
+    trace_scope: str | None = field(default=None, repr=False, compare=False)
+
+    def attach_tracer(self, tracer, track: str, scope: str | None = None) -> None:
+        """Route this simulator's charges to ``tracer`` as spans on ``track``."""
+        self.tracer = tracer
+        self.trace_track = track
+        self.trace_scope = scope
+
+    def detach_tracer(self) -> None:
+        self.tracer = None
+        self.trace_scope = None
+
+    def _emit_span(self, category: str, seconds: float, name: str | None = None) -> None:
+        """Record the charge just booked as a span ending at ledger-now.
+
+        The device's timeline *is* its ledger total, so the span covers
+        ``[total - seconds, total]`` -- by construction monotone and
+        non-overlapping with every earlier span on this track.
+        """
+        end = self.ledger.total
+        self.tracer.add_span(
+            name or self.trace_scope or category,
+            category,
+            self.trace_track,
+            end - seconds,
+            end,
+        )
+
+    def charge(self, category: str, seconds: float,
+               span: str | None = None, name: str | None = None) -> float:
+        """Book ``seconds`` under a ledger ``category`` directly.
+
+        The generic seam for costs with no dedicated ``add_*`` helper
+        (block loads, custom extensions).  ``span`` optionally emits a
+        trace span of that category; ``name`` overrides its label.
+        """
+        if category not in TimeLedger.category_names():
+            raise ConfigError(f"unknown ledger category {category!r}")
+        if seconds < 0:
+            raise ConfigError("charged seconds must be non-negative")
+        setattr(self.ledger, category, getattr(self.ledger, category) + seconds)
+        if span is not None and self.tracer is not None:
+            self._emit_span(span, seconds, name)
+        return seconds
 
     def perturb(self, scale: float) -> None:
         """Set the local-work slowdown factor (``1.0`` = nominal)."""
@@ -119,7 +180,10 @@ class ExecutionSimulator:
         self.ledger.compute += compute
         self.ledger.data_io += io
         self.ledger.overhead += overhead
-        return compute + io + overhead
+        total = compute + io + overhead
+        if self.tracer is not None:
+            self._emit_span("train", total)
+        return total
 
     def add_inference_batch(self, flops: float, batch_bytes: float, n_kernels: int) -> float:
         """Account one inference batch (no per-batch training overhead)."""
@@ -129,7 +193,10 @@ class ExecutionSimulator:
         self.ledger.compute += compute
         self.ledger.data_io += io
         self.ledger.overhead += overhead
-        return compute + io + overhead
+        total = compute + io + overhead
+        if self.tracer is not None:
+            self._emit_span("inference", total)
+        return total
 
     def add_serving_batch(self, flops: float, batch_bytes: float, n_kernels: int) -> float:
         """Account one served inference batch under the ``serving`` category.
@@ -144,6 +211,8 @@ class ExecutionSimulator:
             + n_kernels * self.platform.kernel_launch_overhead
         )
         self.ledger.serving += t
+        if self.tracer is not None:
+            self._emit_span("serving", t)
         return t
 
     def add_communication(self, nbytes: float, link: Link) -> float:
@@ -155,20 +224,28 @@ class ExecutionSimulator:
         """
         t = link.transfer_time(nbytes)
         self.ledger.communication += t
+        if self.tracer is not None:
+            self._emit_span("communication", t)
         return t
 
     def add_cache_write(self, nbytes: float, n_files: int = 1) -> float:
         t = self._scaled(self.storage_time(nbytes, n_files))
         self.ledger.cache_io += t
+        if self.tracer is not None:
+            self._emit_span("cache_io", t, name="cache-write")
         return t
 
     def add_cache_read(self, nbytes: float, n_files: int = 1) -> float:
         t = self._scaled(self.storage_time(nbytes, n_files))
         self.ledger.cache_io += t
+        if self.tracer is not None:
+            self._emit_span("cache_io", t, name="cache-read")
         return t
 
     def add_profiling(self, seconds: float) -> float:
         self.ledger.profiling += seconds
+        if self.tracer is not None:
+            self._emit_span("profiling", seconds)
         return seconds
 
     @property

@@ -1,0 +1,209 @@
+"""Labelled metrics: counters, gauges, histograms, and one registry.
+
+The registry is the single aggregation model every Report embeds (under
+the ``metrics`` key of ``to_json_dict``) and every ``MetricsCallback``
+run exports.  It deliberately mirrors the Prometheus data model at its
+simplest: a metric is a name plus a sorted label set, and a snapshot is
+one flat JSON-friendly dict keyed ``name{label="value",...}``.
+
+The percentile helper here is the one implementation the repo uses for
+latency quantiles (serving percentiles route through it): pure-python
+linear interpolation on the sorted sample, numerically identical to
+``numpy.percentile``'s default ``linear`` method.
+
+Stdlib-only (no numpy, no repro imports), like ``repro.obs.trace``, so
+report modules at any layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile by linear interpolation (numpy-compatible).
+
+    Returns NaN for an empty sample.  ``q`` is clamped to [0, 100].
+    """
+    if not values:
+        return float("nan")
+    data = sorted(values)
+    q = min(100.0, max(0.0, q))
+    rank = q / 100.0 * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(data[int(rank)])
+    frac = rank - lo
+    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": _num(self.value)}
+
+
+@dataclass
+class Gauge:
+    """A value that can go anywhere (last write wins)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": _num(self.value)}
+
+
+@dataclass
+class Histogram:
+    """A sample distribution; snapshots count/sum/min/max and quantiles."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    def snapshot(self) -> dict:
+        empty = not self.samples
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": _num(self.total),
+            "mean": _num(self.mean),
+            "min": _num(min(self.samples)) if not empty else None,
+            "max": _num(max(self.samples)) if not empty else None,
+            "p50": _num(self.quantile(50)),
+            "p95": _num(self.quantile(95)),
+            "p99": _num(self.quantile(99)),
+        }
+
+
+def _num(value) -> float | None:
+    """Round for stable JSON; map NaN/inf to None (JSON has neither)."""
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        return None
+    return round(value, 9)
+
+
+def metric_key(name: str, labels: dict[str, object]) -> str:
+    """Canonical key: ``name`` or ``name{a="1",b="x"}`` (labels sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of one run."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, cls, name: str, labels: dict):
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls()
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {key!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` in: counters add, gauges overwrite, samples pool."""
+        for key, metric in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                if isinstance(metric, Counter):
+                    self._metrics[key] = Counter(metric.value)
+                elif isinstance(metric, Gauge):
+                    self._metrics[key] = Gauge(metric.value)
+                else:
+                    self._metrics[key] = Histogram(list(metric.samples))
+            elif isinstance(mine, Counter) and isinstance(metric, Counter):
+                mine.inc(metric.value)
+            elif isinstance(mine, Gauge) and isinstance(metric, Gauge):
+                mine.set(metric.value)
+            elif isinstance(mine, Histogram) and isinstance(metric, Histogram):
+                mine.samples.extend(metric.samples)
+            else:
+                raise ValueError(
+                    f"cannot merge {type(metric).__name__} into "
+                    f"{type(mine).__name__} for metric {key!r}"
+                )
+        return self
+
+    def snapshot(self) -> dict:
+        """Flat JSON-serializable view, keys sorted (byte-stable)."""
+        return {
+            key: self._metrics[key].snapshot() for key in sorted(self._metrics)
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(
+                {"schema": 1, "metrics": self.snapshot()},
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+
+
+def report_base_metrics(report, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Fold the unified-Report scalars shared by every backend into a registry.
+
+    Wall clock and peak memory become gauges; the ledger summary becomes
+    one ``ledger_seconds_total`` counter per cost category.  Report
+    classes call this first, then layer on their backend-specific
+    metrics.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    reg.gauge("wall_clock_seconds").set(report.wall_clock_s)
+    reg.gauge("peak_memory_bytes").set(report.peak_memory_bytes)
+    for category, seconds in report.ledger_summary().items():
+        reg.counter("ledger_seconds_total", category=category).inc(seconds)
+    return reg

@@ -31,6 +31,7 @@ import numpy as np
 from repro.api.callbacks import BatchInfo, Callback
 from repro.core.worker import BlockWorker
 from repro.errors import ConfigError
+from repro.obs.trace import active_tracer
 from repro.parallel.cluster import Cluster
 
 
@@ -297,6 +298,13 @@ class PipelineExecutor:
         )
         if self.runtime is not None:
             self.runtime.start_pipeline(self, clock)
+        # The executor emits its own spans from the pipeline clock (not
+        # from the device simulators' ledgers, whose cumulative totals are
+        # a different timeline): one complete span per (stage, micro-batch)
+        # step on the placed device's track, plus one async span per
+        # cross-device transfer -- async because the clock models the NIC
+        # alongside the next compute step, so transfers may overlap.
+        tracer = active_tracer()
         comm_seconds: dict[int, float] = {}
         # Devices that ever host a stage: under a runtime the placement
         # moves, and bubble accounting must include a device that carried
@@ -317,14 +325,36 @@ class PipelineExecutor:
                         x, y, input_mode=input_mode
                     )
                     comm_t = 0.0
+                    nbytes = 0
+                    src = self.placement[k]
                     if k + 1 < len(self.workers):
-                        src, dst = self.placement[k], self.placement[k + 1]
+                        dst = self.placement[k + 1]
                         nbytes = out.nbytes + y.nbytes
                         comm_t = self.cluster.charge_transfer(src, dst, nbytes)
                         if src != dst:
                             comm_seconds[src] = comm_seconds.get(src, 0.0) + comm_t
                             comm_bytes += nbytes
-                    clock.step(k, step_t, comm_t)
+                    start, finish = clock.step(k, step_t, comm_t)
+                    if tracer is not None:
+                        tracer.add_span(
+                            f"block{k}",
+                            "train",
+                            f"dev{src}",
+                            start,
+                            finish,
+                            attrs={"epoch": epoch, "microbatch": n_micro + 1},
+                        )
+                        if comm_t > 0.0:
+                            depart = clock._departs[k][-1]
+                            tracer.add_span(
+                                f"block{k}->block{k + 1}",
+                                "communication",
+                                f"dev{src}",
+                                depart,
+                                depart + comm_t,
+                                attrs={"nbytes": nbytes},
+                                kind="async",
+                            )
                     if self.callbacks is not None:
                         self.callbacks.on_batch(
                             BatchInfo(

@@ -61,6 +61,38 @@ class ParallelReport:
         """Cost categories merged across all device ledgers."""
         return self.report.result.ledger.as_dict()
 
+    def metrics_registry(self):
+        """The parallel run's metrics (embedded in the report JSON)."""
+        from repro.obs.metrics import report_base_metrics
+
+        reg = report_base_metrics(self)
+        for name, ledger in zip(self.device_names, self.device_ledgers):
+            for category, seconds in ledger.items():
+                reg.counter(
+                    "device_ledger_seconds_total", device=name, category=category
+                ).inc(seconds)
+        for name, util in zip(self.device_names, self.utilization):
+            reg.gauge("device_utilization", device=name).set(util)
+        reg.gauge("bubble_fraction").set(self.bubble_fraction)
+        reg.gauge("predicted_makespan_seconds").set(self.predicted_makespan_s)
+        reg.counter("comm_bytes_total").inc(self.comm_bytes)
+        reg.counter("microbatches_total").inc(self.n_microbatches)
+        runtime_json = (
+            self.runtime.to_json_dict() if self.runtime is not None else None
+        )
+        if runtime_json is not None:
+            for event in runtime_json.get("events_applied", ()):
+                reg.counter(
+                    "runtime_events_total", kind=event.get("type", "?")
+                ).inc()
+            recovery = reg.histogram("migration_recovery_seconds")
+            for migration in runtime_json.get("migrations", ()):
+                reg.counter(
+                    "migrations_total", reason=migration.get("reason", "?")
+                ).inc()
+                recovery.observe(migration.get("recovery_s", 0.0))
+        return reg
+
     def summary(self) -> str:
         """Human-readable one-screen summary."""
         predicted = (

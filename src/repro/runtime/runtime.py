@@ -34,6 +34,7 @@ from repro.api.callbacks import BatchInfo, Callback
 from repro.errors import ConfigError, FaultError, PlacementError
 from repro.hw.platforms import get_platform
 from repro.memory.tracker import SimulatedGpu
+from repro.obs.trace import active_tracer
 from repro.parallel.cluster import Device
 from repro.parallel.placement import price_training_step
 from repro.runtime.events import (
@@ -408,6 +409,10 @@ class AdaptiveRuntime(Callback):
                 and self._coeffs_differ(coeffs, self._coeffs_at_last_decision)
                 and not self._coeffs_differ(coeffs, self._coeffs_at_last_check)
             ):
+                self._trace_decision(
+                    "drift-detected", now,
+                    {"coefficients": [round(c, 4) for c in coeffs]},
+                )
                 self._consider_replacement(now, forced=False)
             self._coeffs_at_last_check = coeffs
         if self.adapt and self._m % self.checkpoint_every == 0:
@@ -510,6 +515,11 @@ class AdaptiveRuntime(Callback):
         # Whatever the verdict, it was reached against these coefficients;
         # don't re-litigate until they materially change.
         self._record_decision()
+        self._trace_decision(
+            "replacement-accepted" if decision.accept else "replacement-rejected",
+            now,
+            {"forced": forced, "placement": list(decision.placement)},
+        )
         if not decision.accept:
             return
         # Two-phase residency handoff: release every moved block's source
@@ -569,6 +579,12 @@ class AdaptiveRuntime(Callback):
     def _record_decision(self) -> None:
         self._coeffs_at_last_decision = self.monitor.coefficients()
 
+    def _trace_decision(self, name: str, now: float, attrs: dict) -> None:
+        """Mark a control-loop decision on the trace's ``runtime`` track."""
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(name, "runtime-decision", "runtime", now, attrs)
+
     # ------------------------------------------------------------------ #
     # sequential hooks (called from the controller's block loop)         #
     # ------------------------------------------------------------------ #
@@ -601,7 +617,13 @@ class AdaptiveRuntime(Callback):
             if self.monitor.any_drift() and self._coeffs_differ(
                 self.monitor.coefficients(), self._coeffs_at_last_decision
             ):
-                self._replace_future_blocks(block.index)
+                self._trace_decision(
+                    "drift-detected", now,
+                    {"coefficients": [
+                        round(c, 4) for c in self.monitor.coefficients()
+                    ]},
+                )
+                self._replace_future_blocks(block.index, now)
                 self._record_decision()
         if self.adapt and self._cur_batches % self.checkpoint_every == 0:
             self._checkpoint_sequential()
@@ -681,9 +703,9 @@ class AdaptiveRuntime(Callback):
             self._checkpoint_sequential()
         if self.adapt:
             current = -1 if block is None else block.index
-            self._replace_future_blocks(current)
+            self._replace_future_blocks(current, now)
 
-    def _replace_future_blocks(self, current_index: int) -> None:
+    def _replace_future_blocks(self, current_index: int, now: float) -> None:
         """Re-place untrained blocks (free: they hold no state yet)."""
         changed = False
         for b in self.blocks:
@@ -694,6 +716,10 @@ class AdaptiveRuntime(Callback):
             self.placement[b.index] = best
         if changed:
             self._placement_history.append(list(self.placement))
+            self._trace_decision(
+                "replacement-accepted", now,
+                {"forced": False, "placement": list(self.placement)},
+            )
 
     def _best_sequential_device(self, block) -> int:
         """Fastest alive device that fits ``block``, by refined price."""

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.api.report import common_json_fields, json_num as _num
+from repro.hw.simulator import TimeLedger
+from repro.obs.metrics import MetricsRegistry, percentile, report_base_metrics
 
 
 @dataclass(frozen=True)
@@ -77,29 +77,30 @@ class ServingReport:
     def throughput_rps(self) -> float:
         return self.n_completed / self.makespan_s if self.makespan_s > 0 else 0.0
 
-    def _latencies(self) -> np.ndarray:
-        return np.array([r.latency_s for r in self.records], dtype=np.float64)
+    def _latencies(self) -> list[float]:
+        return [r.latency_s for r in self.records]
 
     def latency_percentile(self, q: float) -> float:
-        lat = self._latencies()
-        return float(np.percentile(lat, q)) if len(lat) else float("nan")
+        # One percentile implementation repo-wide (repro.obs.metrics);
+        # numerically identical to numpy's default linear interpolation.
+        return percentile(self._latencies(), q)
 
     @property
     def mean_latency_s(self) -> float:
         lat = self._latencies()
-        return float(lat.mean()) if len(lat) else float("nan")
+        return sum(lat) / len(lat) if lat else float("nan")
 
     @property
     def mean_queue_delay_s(self) -> float:
         if not self.records:
             return float("nan")
-        return float(np.mean([r.queue_delay_s for r in self.records]))
+        return sum(r.queue_delay_s for r in self.records) / len(self.records)
 
     @property
     def mean_batch_size(self) -> float:
         if not self.records:
             return float("nan")
-        return float(np.mean([r.batch_size for r in self.records]))
+        return sum(r.batch_size for r in self.records) / len(self.records)
 
     @property
     def exit_counts(self) -> list[int]:
@@ -129,7 +130,34 @@ class ServingReport:
     def ledger_summary(self) -> dict[str, float]:
         if self.ledger_totals:
             return dict(self.ledger_totals)
-        return {"serving": self.serving_time_s, "total": self.serving_time_s}
+        # Fallback for reports built without a server ledger: enumerate
+        # the categories from TimeLedger itself, so a category added
+        # there can never silently drop from serving reports again.
+        out = {name: 0.0 for name in TimeLedger.category_names()}
+        out["serving"] = self.serving_time_s
+        out["total"] = self.serving_time_s
+        return out
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The serving run's metrics (embedded in the report JSON)."""
+        reg = report_base_metrics(self)
+        reg.counter("requests_completed_total").inc(self.n_completed)
+        reg.counter("requests_rejected_total").inc(self.n_rejected)
+        for k, count in enumerate(self.exit_counts):
+            reg.counter("requests_exit_total", exit=k).inc(count)
+        reg.counter("batches_served_total").inc(
+            len({r.dispatch_s for r in self.records})
+        )
+        reg.gauge("throughput_rps").set(self.throughput_rps)
+        reg.gauge("rejection_rate").set(self.rejection_rate)
+        reg.gauge("accuracy").set(self.accuracy)
+        reg.gauge("mean_batch_size").set(self.mean_batch_size)
+        latency = reg.histogram("request_latency_seconds")
+        queue = reg.histogram("queue_delay_seconds")
+        for r in self.records:
+            latency.observe(r.latency_s)
+            queue.observe(r.queue_delay_s)
+        return reg
 
     def to_json_dict(self) -> dict:
         """JSON-serializable serving report (unified schema head)."""

@@ -19,6 +19,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.hw.platforms import Platform
 from repro.hw.simulator import ExecutionSimulator
+from repro.obs.trace import active_tracer
 from repro.serving.batcher import AdaptiveBatcher
 from repro.serving.cascade import CascadeCostModel, CascadeRouter
 from repro.serving.metrics import RequestRecord, ServingReport
@@ -115,10 +116,18 @@ class InferenceServer:
             mode=self.router.mode,
             num_exits=self.router.model.num_exits,
         )
+        # Serving spans ride the workload clock: one complete span per
+        # dispatched batch on the single-lane "server" track (batches
+        # serialize on free_s, so they nest trivially), one async span per
+        # request covering its whole admit -> queue -> batch -> exit
+        # lifecycle on the "requests" track, and a reject instant per
+        # admission-control drop.
+        tracer = active_tracer()
         pending: deque[Request] = deque()
         free_s = 0.0
         idx = 0
         n = len(requests)
+        n_batches = 0
         while idx < n or pending:
             if not pending:
                 # Idle server: the next arrival opens a fresh batch window.
@@ -136,13 +145,39 @@ class InferenceServer:
                 idx += 1
                 if len(pending) >= cfg.queue_depth:
                     report.n_rejected += 1
+                    if tracer is not None:
+                        tracer.instant(
+                            f"reject-req{r.request_id}", "serving", "requests",
+                            r.arrival_s, {"queue_depth": cfg.queue_depth},
+                        )
                     continue
                 pending.append(r)
                 if len(pending) == cfg.batch_cap and dispatch == deadline:
                     dispatch = max(start, r.arrival_s)
             plan = self.batcher.take(pending, dispatch)
-            report.records.extend(self._serve_batch(plan.requests, plan.dispatch_s))
+            batch_records = self._serve_batch(plan.requests, plan.dispatch_s)
+            report.records.extend(batch_records)
             free_s = report.records[-1].completion_s
+            n_batches += 1
+            if tracer is not None:
+                exits = [r.exit_index for r in batch_records]
+                tracer.add_span(
+                    f"batch{n_batches}", "serving", "server",
+                    plan.dispatch_s, free_s,
+                    attrs={"batch_size": len(batch_records),
+                           "max_exit": max(exits)},
+                )
+                for rec in batch_records:
+                    tracer.add_span(
+                        f"req{rec.request_id}", "request", "requests",
+                        rec.arrival_s, rec.completion_s,
+                        attrs={
+                            "queue_delay_s": round(rec.queue_delay_s, 9),
+                            "exit": rec.exit_index,
+                            "batch": n_batches,
+                        },
+                        kind="async",
+                    )
         report.serving_time_s = self.sim.ledger.serving
         report.ledger_totals = self.sim.ledger.as_dict()
         return report

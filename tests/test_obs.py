@@ -1,0 +1,254 @@
+"""Unit tests for repro.obs: tracer, metrics registry, exporters."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    activate,
+    active_tracer,
+    deactivate,
+    no_tracing,
+    percentile,
+    validate_monotonic,
+    validate_nesting,
+)
+from repro.obs.metrics import metric_key
+
+
+@pytest.fixture(autouse=True)
+def _clean_active_tracer():
+    deactivate()
+    yield
+    deactivate()
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(37).tolist()
+        for q in (0, 1, 25, 50, 75, 90, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q)), abs=1e-12
+            )
+
+    def test_single_value_and_empty(self):
+        assert percentile([4.2], 99) == 4.2
+        assert math.isnan(percentile([], 50))
+
+    def test_clamps_out_of_range_q(self):
+        assert percentile([1.0, 2.0], -5) == 1.0
+        assert percentile([1.0, 2.0], 150) == 2.0
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set(self):
+        g = Gauge()
+        g.set(7)
+        g.set(-2.5)
+        assert g.value == -2.5
+
+    def test_histogram_snapshot(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["count"] == 4
+        assert snap["sum"] == 10.0
+        assert snap["mean"] == 2.5
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+        assert snap["p50"] == 2.5
+
+    def test_metric_key_sorts_labels(self):
+        assert metric_key("x", {"b": 1, "a": "y"}) == 'x{a="y",b="1"}'
+        assert metric_key("x", {}) == "x"
+
+    def test_registry_get_or_create_and_type_conflict(self):
+        reg = MetricsRegistry()
+        c = reg.counter("reqs", backend="serving")
+        assert reg.counter("reqs", backend="serving") is c
+        with pytest.raises(ValueError):
+            reg.gauge("reqs", backend="serving")
+
+    def test_registry_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(3.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["n"]["value"] == 5.0
+        assert snap["g"]["value"] == 9.0  # gauges: last writer wins
+        assert snap["h"]["count"] == 2
+
+    def test_snapshot_keys_sorted_and_json_pure(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.gauge("a").set(float("nan"))
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["a"]["value"] is None  # NaN -> null
+        json.dumps(snap)
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        path = tmp_path / "m.json"
+        reg.write_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert payload["metrics"]["n"]["value"] == 1.0
+
+
+class TestTracer:
+    def test_add_span_sequential_ids_and_attrs(self):
+        t = Tracer()
+        s0 = t.add_span("a", "train", "dev0", 0.0, 1.0)
+        s1 = t.add_span("b", "train", "dev0", 1.0, 2.0, attrs={"k": 1})
+        assert (s0.span_id, s1.span_id) == (0, 1)
+        assert s1.attrs == {"k": 1}
+        assert len(t) == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().add_span("a", "c", "t", 0.0, 1.0, kind="weird")
+
+    def test_context_manager_nesting_parents(self):
+        t = Tracer(clock=iter([0.0, 1.0, 2.0, 3.0]).__next__)
+        with t.span("outer", "train") as outer:
+            with t.span("inner", "train") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.start_s == 0.0 and inner.start_s == 1.0
+        assert inner.end_s == 2.0 and outer.end_s == 3.0
+        assert not validate_nesting(t.spans)
+
+    def test_tracks_first_appearance_order(self):
+        t = Tracer()
+        t.add_span("a", "c", "beta", 0.0, 1.0)
+        t.add_span("b", "c", "alpha", 0.0, 1.0)
+        t.add_span("c", "c", "beta", 1.0, 2.0)
+        assert t.tracks() == ["beta", "alpha"]
+
+    def test_flow_links_spans(self):
+        t = Tracer()
+        src = t.add_span("out", "migration", "m", 0.0, 1.0)
+        dst = t.add_span("in", "migration", "m", 1.0, 2.0)
+        fid = t.add_flow("move", src, dst)
+        assert t.flows[fid]["src"] == src.span_id
+        assert t.flows[fid]["dst"] == dst.span_id
+
+    def test_active_tracer_registry(self):
+        assert active_tracer() is None
+        t = activate(Tracer())
+        assert active_tracer() is t
+        with no_tracing():
+            assert active_tracer() is None
+        assert active_tracer() is t
+        deactivate()
+        assert active_tracer() is None
+
+
+class TestValidators:
+    def test_nesting_accepts_siblings_and_children(self):
+        spans = [
+            Span(0, "parent", "c", "t", 0.0, 10.0),
+            Span(1, "child", "c", "t", 1.0, 4.0),
+            Span(2, "sibling", "c", "t", 5.0, 9.0),
+            Span(3, "next", "c", "t", 10.0, 12.0),
+        ]
+        assert validate_nesting(spans) == []
+
+    def test_nesting_rejects_partial_overlap(self):
+        spans = [
+            Span(0, "a", "c", "t", 0.0, 5.0),
+            Span(1, "b", "c", "t", 3.0, 8.0),
+        ]
+        assert validate_nesting(spans)
+
+    def test_nesting_rejects_negative_duration(self):
+        assert validate_nesting([Span(0, "a", "c", "t", 2.0, 1.0)])
+
+    def test_async_spans_may_overlap(self):
+        spans = [
+            Span(0, "a", "c", "t", 0.0, 5.0, kind="async"),
+            Span(1, "b", "c", "t", 3.0, 8.0, kind="async"),
+        ]
+        assert validate_nesting(spans) == []
+        assert validate_monotonic(spans) == []
+
+    def test_monotonic_rejects_backwards_starts(self):
+        spans = [
+            Span(0, "a", "c", "t", 5.0, 6.0),
+            Span(1, "b", "c", "t", 1.0, 2.0),
+        ]
+        assert validate_monotonic(spans)
+
+
+class TestChromeExport:
+    def _tracer(self) -> Tracer:
+        t = Tracer()
+        t.add_span("step", "train", "dev0", 0.0, 0.5, attrs={"n": 1})
+        t.instant("drift", "runtime-decision", "runtime", 0.25)
+        t.add_span("xfer", "communication", "dev0", 0.5, 0.7, kind="async")
+        out = t.add_span("out", "migration", "m", 0.7, 0.8)
+        dst = t.add_span("in", "migration", "m", 0.8, 0.9)
+        t.add_flow("move", out, dst)
+        return t
+
+    def test_event_phases_and_track_metadata(self):
+        payload = self._tracer().to_chrome_dict()
+        events = payload["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert phases.count("M") == 1 + 3  # process + one per track
+        assert "X" in phases and "i" in phases
+        assert phases.count("b") == 1 and phases.count("e") == 1
+        assert phases.count("s") == 1 and phases.count("f") == 1
+        names = {
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        }
+        assert names == {"dev0", "runtime", "m"}
+
+    def test_timestamps_are_microseconds(self):
+        events = self._tracer().to_chrome_dict()["traceEvents"]
+        step = next(e for e in events if e.get("ph") == "X" and e["name"] == "step")
+        assert step["ts"] == 0.0
+        assert step["dur"] == 500000.0
+
+    def test_write_chrome_byte_stable(self, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        self._tracer().write_chrome(str(p1))
+        self._tracer().write_chrome(str(p2))
+        assert p1.read_bytes() == p2.read_bytes()
+        json.loads(p1.read_text())
+
+    def test_write_jsonl_one_object_per_span(self, tmp_path):
+        t = self._tracer()
+        path = tmp_path / "spans.jsonl"
+        t.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(t.spans)
+        first = json.loads(lines[0])
+        assert first["name"] == "step" and first["cat"] == "train"

@@ -1,0 +1,242 @@
+"""Integration tests: tracing/metrics wired through the real backends."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import JobSpec, available_backends, run
+from repro.hw.simulator import TimeLedger
+from repro.obs import (
+    CsvMetricsCallback,
+    MetricsCallback,
+    ProgressCallback,
+    Tracer,
+    TracingCallback,
+    deactivate,
+    validate_monotonic,
+    validate_nesting,
+)
+from repro.serving.metrics import ServingReport
+
+QUICK = Path(__file__).resolve().parent.parent / "examples/specs/quick.json"
+
+
+@pytest.fixture(autouse=True)
+def _clean_active_tracer():
+    deactivate()
+    yield
+    deactivate()
+
+
+def quick_spec(backend: str, **extra) -> JobSpec:
+    payload = json.loads(QUICK.read_text())
+    payload.update(extra)
+    return JobSpec.from_dict(payload, backend=backend)
+
+
+class TestDeterminism:
+    def test_pipelined_trace_byte_identical_across_runs(self, tmp_path):
+        paths = []
+        for i in (1, 2):
+            path = tmp_path / f"trace{i}.json"
+            run(
+                quick_spec("pipelined"),
+                callbacks=TracingCallback(trace_path=str(path)),
+            )
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_pipelined_trace_has_required_categories_and_tracks(self):
+        tracer = Tracer()
+        run(quick_spec("pipelined"), callbacks=TracingCallback(tracer=tracer))
+        cats = tracer.categories()
+        assert {"train", "communication", "runtime-decision"} <= cats
+        tracks = tracer.tracks()
+        assert "dev0" in tracks and "dev1" in tracks
+        assert validate_nesting(tracer.spans) == []
+        assert validate_monotonic(tracer.spans) == []
+
+
+class TestAllBackends:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {
+            name: run(quick_spec(name)) for name in available_backends()
+        }
+
+    def test_every_backend_emits_nonempty_metrics(self, reports):
+        for name, report in reports.items():
+            payload = report.to_json_dict()
+            assert isinstance(payload.get("metrics"), dict), name
+            assert payload["metrics"], name
+            for key, entry in payload["metrics"].items():
+                assert entry["type"] in ("counter", "gauge", "histogram"), (
+                    name, key,
+                )
+            json.dumps(payload)
+
+    def test_base_metrics_match_report_fields(self, reports):
+        for name, report in reports.items():
+            metrics = report.to_json_dict()["metrics"]
+            wall = metrics["wall_clock_seconds"]["value"]
+            assert wall == pytest.approx(report.wall_clock_s, abs=1e-6), name
+
+    def test_every_backend_traces_spans(self):
+        for name in available_backends():
+            tracer = Tracer()
+            run(quick_spec(name), callbacks=TracingCallback(tracer=tracer))
+            assert len(tracer.spans) > 0, name
+            assert validate_nesting(tracer.spans) == [], name
+            assert validate_monotonic(tracer.spans) == [], name
+
+
+class TestRuntimeTracing:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        spec = quick_spec(
+            "pipelined",
+            runtime={
+                "adapt": True,
+                "events": {
+                    "events": [
+                        {
+                            "type": "slowdown",
+                            "time_s": 0.02,
+                            "device": 0,
+                            "factor": 4.0,
+                            "duration_s": 10.0,
+                        }
+                    ]
+                },
+                "drift_threshold": 0.1,
+                "min_samples": 2,
+                "check_every": 1,
+            },
+        )
+        tracer = Tracer()
+        report = run(spec, callbacks=TracingCallback(tracer=tracer))
+        return tracer, report
+
+    def test_migration_emits_flow_to_real_spans(self, traced_run):
+        tracer, report = traced_run
+        assert report.runtime is not None
+        migrations = report.runtime.to_json_dict()["migrations"]
+        assert migrations, "the slowdown should force at least one migration"
+        assert len(tracer.flows) == len(migrations)
+        by_id = {s.span_id: s for s in tracer.spans}
+        for flow in tracer.flows:
+            src, dst = by_id[flow["src"]], by_id[flow["dst"]]
+            assert src.category == dst.category == "migration"
+            assert src.end_s <= dst.start_s + 1e-9
+
+    def test_decision_instants_present(self, traced_run):
+        tracer, _ = traced_run
+        names = {s.name for s in tracer.spans if s.category == "runtime-decision"}
+        assert "drift-detected" in names
+        assert names & {"replacement-accepted", "replacement-rejected"}
+
+    def test_migration_metrics_in_report(self, traced_run):
+        _, report = traced_run
+        metrics = report.to_json_dict()["metrics"]
+        assert 'migrations_total{reason="drift"}' in metrics
+        assert 'runtime_events_total{kind="slowdown"}' in metrics
+
+
+class TestLedgerKeySync:
+    def test_fallback_summary_covers_every_ledger_category(self):
+        # Regression: the fallback used to hand-list the categories, so a
+        # new TimeLedger field silently dropped from serving reports.
+        report = ServingReport(
+            platform_name="p", pattern="poisson", arrival_rate=1.0,
+            duration_s=1.0, mode="cascade", num_exits=2, serving_time_s=0.5,
+        )
+        summary = report.ledger_summary()
+        for name in TimeLedger.category_names():
+            assert name in summary, name
+        assert summary["serving"] == 0.5
+        assert summary["total"] == 0.5
+
+    def test_category_names_match_dataclass_fields(self):
+        ledger = TimeLedger()
+        assert set(TimeLedger.category_names()) == set(ledger.as_dict()) - {
+            "total"
+        }
+
+
+class TestObservabilitySection:
+    def test_spec_round_trip(self):
+        spec = quick_spec(
+            "sequential",
+            observability={"trace_path": "t.json", "progress": True},
+        )
+        payload = spec.to_dict()
+        assert payload["observability"]["trace_path"] == "t.json"
+        again = JobSpec.from_dict(payload)
+        assert again.observability.trace_path == "t.json"
+        assert again.observability.progress is True
+
+    def test_section_drives_outputs(self, tmp_path):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        csv_path = tmp_path / "rows.csv"
+        spec = quick_spec(
+            "sequential",
+            observability={
+                "trace_path": str(trace),
+                "metrics_path": str(metrics),
+                "csv_path": str(csv_path),
+            },
+        )
+        run(spec)
+        assert json.loads(trace.read_text())["traceEvents"]
+        snap = json.loads(metrics.read_text())
+        assert snap["schema"] == 1 and snap["metrics"]
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "index,time_s,loss,accuracy"
+        assert len(lines) >= 2
+
+    def test_user_callbacks_unmodified(self):
+        from repro.api import CallbackList, RecordingCallback
+
+        rec = RecordingCallback()
+        user = CallbackList([rec])
+        spec = quick_spec("sequential", observability={"progress": True})
+        run(spec, callbacks=user)
+        assert len(user) == 1  # the obs callback went into a fresh list
+        assert "on_job_end" in rec.names()
+
+
+class TestProgressAndCsvCallbacks:
+    def test_progress_lines(self):
+        stream = io.StringIO()
+        run(quick_spec("sequential"), callbacks=ProgressCallback(stream=stream))
+        text = stream.getvalue()
+        assert "[sequential] epoch 1:" in text
+        assert "done:" in text
+
+    def test_progress_federated_labels_rounds(self):
+        stream = io.StringIO()
+        run(quick_spec("federated"), callbacks=ProgressCallback(stream=stream))
+        assert "round 1" in stream.getvalue()
+
+    def test_csv_rows(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        run(quick_spec("sequential"), callbacks=CsvMetricsCallback(str(path)))
+        lines = path.read_text().splitlines()
+        assert lines[0] == "index,time_s,loss,accuracy"
+        row = lines[1].split(",")
+        assert row[0] == "0"
+        assert float(row[1]) > 0
+
+    def test_metrics_callback_merges_report_registry(self, tmp_path):
+        path = tmp_path / "m.json"
+        cb = MetricsCallback(path=str(path))
+        run(quick_spec("serving"), callbacks=cb)
+        snap = json.loads(path.read_text())["metrics"]
+        # Counts both callback-observed and report-side metrics.
+        assert "requests_completed_total" in snap
+        assert "wall_clock_seconds" in snap
