@@ -8,7 +8,8 @@ pieces:
 
 * :class:`JobSpec` -- a typed, validated, JSON-round-trippable job
   description composed of sections (``model``, ``data``, ``neuroflux``,
-  ``cluster``, ``runtime``, ``federated``, ``serving``, ``budgets``);
+  ``cluster``, ``runtime``, ``federated``, ``serving``, ``budgets``,
+  ``compute``);
 * a backend registry -- ``@register_backend("sequential")`` etc. adapt
   each subsystem behind one ``Backend.run(spec, callbacks) -> Report``
   protocol, so :func:`run` is the single entry point;
@@ -49,6 +50,7 @@ _EXPORTS = {
     # spec
     "BudgetsSection": "repro.api.spec",
     "ClusterSection": "repro.api.spec",
+    "ComputeSection": "repro.api.spec",
     "DataSection": "repro.api.spec",
     "DeviceSection": "repro.api.spec",
     "FederatedSection": "repro.api.spec",

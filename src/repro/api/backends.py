@@ -9,6 +9,8 @@ subsystem entry point behind ``Backend.run(spec, callbacks) -> Report``:
                           cluster-sequential schedule when a ``cluster``
                           section is present)
 ``pipelined``             :meth:`NeuroFlux.train_parallel(schedule="pipelined")`
+``multiprocess``          :meth:`NeuroFlux.train_multiprocess` (real forked
+                          block-parallel processes, shared-memory handoff)
 ``federated``             :meth:`FederatedNeuroFlux.run` (synchronous FedAvg)
 ``federated-async``       :meth:`FederatedNeuroFlux.run_async` (bounded
                           staleness)
@@ -69,12 +71,14 @@ def build_system_from_spec(spec: JobSpec):
     from repro.core.controller import NeuroFlux
     from repro.hw.platforms import get_platform
 
+    compute = spec.compute.to_compute_config() if spec.compute is not None else None
     return NeuroFlux(
         build_model_from_spec(spec),
         build_data_from_spec(spec),
         memory_budget=spec.budgets.memory_bytes,
         platform=get_platform(spec.platform),
         config=spec.neuroflux,
+        compute=compute,
     )
 
 
@@ -170,6 +174,31 @@ class PipelinedBackend(_TrainingBackend):
     """Micro-batch pipeline across the cluster (blocks overlap)."""
 
     schedule = "pipelined"
+
+
+@register_backend("multiprocess")
+class MultiprocessBackend(Backend):
+    """Real block-parallel training in forked OS processes.
+
+    Blocks are gradient-independent under local learning, so contiguous
+    block stages train concurrently -- one process per stage, activations
+    streamed through shared-memory rings.  Unlike ``pipelined`` (which
+    *simulates* a cluster) this spends actual cores; wall-clock lives in
+    ``report.extras["wall_clock_s"]``.
+    """
+
+    def prepare(self, spec: JobSpec) -> JobContext:
+        context = JobContext(spec=spec, backend=self.name)
+        context.system = build_system_from_spec(spec)
+        return context
+
+    def execute(self, context: JobContext, callbacks):
+        spec: JobSpec = context.spec
+        compute = spec.compute
+        return context.system.train_multiprocess(
+            spec.budgets.epochs,
+            processes=compute.processes if compute is not None else None,
+        )
 
 
 # --------------------------------------------------------------------- #

@@ -3,7 +3,7 @@
 A :class:`JobSpec` is composed of typed sections -- ``model``, ``data``,
 ``neuroflux`` (wrapping :class:`~repro.core.config.NeuroFluxConfig`),
 ``cluster``, ``runtime``, ``federated``, ``serving``, ``budgets``,
-``observability`` -- plus two scalars: the ``backend`` that executes it
+``observability``, ``compute`` -- plus two scalars: the ``backend`` that executes it
 and the single-device ``platform``.  Specs are JSON-round-trippable (``from_dict`` /
 ``to_dict`` / ``from_json_file``), and every validation failure raises a
 structured :class:`~repro.errors.SpecError` naming the offending
@@ -63,6 +63,11 @@ BACKEND_SECTION_RULES: dict[str, dict] = {
         "needs_cluster": False,
         "forbids": ("cluster", "runtime", "federated"),
         "defaults": ("serving",),
+    },
+    "multiprocess": {
+        "needs_cluster": False,
+        "forbids": ("cluster", "runtime", "federated", "serving"),
+        "defaults": (),
     },
 }
 
@@ -292,6 +297,54 @@ class ObservabilitySection:
 
 
 @dataclass
+class ComputeSection:
+    """Compute substrate selection (see :mod:`repro.backend`).
+
+    Backend-agnostic, like ``observability``: any backend accepts it.
+    ``array_backend`` picks the process's GEMM engine (``numpy`` |
+    ``threaded``); ``threads`` caps the threaded pool (null = one per
+    core); ``bf16_weights`` stores weights as truncated bf16 (fp32
+    compute, 2 bytes/scalar residency); ``processes`` sizes the
+    ``multiprocess`` backend's worker-process fan-out (null = one per
+    core, capped at the block count).
+    """
+
+    _section = "compute"
+
+    array_backend: str = "numpy"
+    threads: int | None = None
+    bf16_weights: bool = False
+    processes: int | None = None
+
+    def __post_init__(self) -> None:
+        from repro.backend import available_array_backends
+
+        if self.array_backend not in available_array_backends():
+            raise SpecError(
+                "compute",
+                f"unknown array_backend {self.array_backend!r}; "
+                f"registered: {', '.join(available_array_backends())}",
+            )
+        if self.threads is not None and self.threads < 1:
+            raise SpecError("compute", "threads must be >= 1")
+        if self.processes is not None and self.processes < 1:
+            raise SpecError("compute", "processes must be >= 1")
+        if not isinstance(self.bf16_weights, bool):
+            raise SpecError("compute", "bf16_weights must be a boolean")
+
+    def to_compute_config(self):
+        """The runtime-facing :class:`repro.backend.ComputeConfig`."""
+        from repro.backend import ComputeConfig
+
+        return ComputeConfig(
+            array_backend=self.array_backend,
+            threads=self.threads,
+            bf16_weights=self.bf16_weights,
+            processes=self.processes,
+        )
+
+
+@dataclass
 class BudgetsSection:
     """Resource envelope: training memory, epochs, optional time budget."""
 
@@ -332,6 +385,7 @@ class JobSpec:
     federated: FederatedSection | None = None
     serving: ServingSection | None = None
     observability: ObservabilitySection | None = None
+    compute: ComputeSection | None = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -441,7 +495,14 @@ class JobSpec:
         out["data"] = _jsonify(dataclasses.asdict(self.data))
         out["neuroflux"] = self.neuroflux.to_dict()
         out["budgets"] = _jsonify(dataclasses.asdict(self.budgets))
-        for name in ("cluster", "runtime", "federated", "serving", "observability"):
+        for name in (
+            "cluster",
+            "runtime",
+            "federated",
+            "serving",
+            "observability",
+            "compute",
+        ):
             section = getattr(self, name)
             if section is not None:
                 out[name] = _jsonify(dataclasses.asdict(section))
@@ -475,6 +536,7 @@ class JobSpec:
             "federated",
             "serving",
             "observability",
+            "compute",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -550,6 +612,7 @@ _SECTION_TYPES: dict[str, type] = {
     "federated": FederatedSection,
     "serving": ServingSection,
     "observability": ObservabilitySection,
+    "compute": ComputeSection,
 }
 
 

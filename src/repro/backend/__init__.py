@@ -1,0 +1,57 @@
+"""repro.backend: the pluggable array-backend seam and its engines.
+
+The nn kernels dispatch their GEMMs, scratch allocation, and
+batch-sliced scatters through one process-global :class:`ArrayBackend`
+(:mod:`repro.backend.base` defines the protocol, :mod:`.registry` the
+selection machinery).  Three engines ship with the seam:
+
+* ``numpy`` -- the seed engine, a zero-cost passthrough (default;
+  bit-identical to pre-seam numerics);
+* ``threaded`` -- cache-blocked row-tiled GEMMs fanned over a thread
+  pool for the im2col hot path (:mod:`.threaded`);
+* the multiprocess block-parallel executor (:mod:`.multiproc`) -- not
+  an :class:`ArrayBackend` but a training executor built on the same
+  package: blocks are gradient-independent under local learning, so
+  stages of blocks train concurrently in forked worker processes with
+  shared-memory activation handoff.
+
+Orthogonally, :mod:`.bf16` provides bf16 *weight-storage* emulation
+(truncated-uint16 storage semantics on fp32 compute arrays), reported
+through the existing peak-memory plumbing.
+
+Selection comes from a JobSpec ``compute`` section (see
+:class:`repro.api.spec.ComputeSection`) or directly::
+
+    from repro.backend import use_array_backend
+
+    with use_array_backend("threaded", threads=4):
+        report = system.run(epochs=3)
+"""
+
+from repro.backend.base import ArrayBackend, ComputeConfig, NumpyBackend
+from repro.backend.registry import (
+    active_backend,
+    available_array_backends,
+    get_array_backend,
+    map_slices,
+    matmul,
+    register_array_backend,
+    set_active_backend,
+    use_array_backend,
+)
+from repro.backend.threaded import ThreadedBackend
+
+__all__ = [
+    "ArrayBackend",
+    "ComputeConfig",
+    "NumpyBackend",
+    "ThreadedBackend",
+    "active_backend",
+    "available_array_backends",
+    "get_array_backend",
+    "map_slices",
+    "matmul",
+    "register_array_backend",
+    "set_active_backend",
+    "use_array_backend",
+]

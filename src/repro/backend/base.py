@@ -1,0 +1,123 @@
+"""ArrayBackend protocol: the seam between nn kernels and their engine.
+
+The nn layer lowers every convolution and linear transform to a handful
+of primitive array operations -- dense GEMMs on im2col matrices, scratch
+allocation, elementwise activation, and batch-sliced scatters.  This
+module names that contract (:class:`ArrayBackend`) so the engine behind
+it can be swapped per-process without touching a single model: the same
+``Conv2d`` runs on plain numpy, on a thread pool with cache-blocked
+tiles, or under reduced-precision weight storage, selected by a JobSpec
+``compute`` section (the swap-the-engine-keep-the-API design the
+roadmap calls for).
+
+The default :class:`NumpyBackend` is deliberately a zero-cost
+passthrough: every hook forwards straight to the numpy call the kernels
+made before the seam existed, so the numpy path stays bit-identical to
+the seed numerics.
+
+:class:`ComputeConfig` is the plain-data description of a compute
+setup (backend name + knobs); it is what the api layer hands to
+:class:`~repro.core.controller.NeuroFlux` after validating a spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ComputeConfig:
+    """Validated compute selection, as carried by a JobSpec ``compute``
+    section.
+
+    ``array_backend`` names a registered :class:`ArrayBackend` factory
+    (``"numpy"`` or ``"threaded"``); ``threads`` caps the threaded
+    backend's pool (``None`` = one per core); ``bf16_weights`` turns on
+    truncated-uint16 weight storage (fp32 compute); ``processes`` is the
+    worker-process count for the multiprocess block-parallel executor
+    (``None`` = one per pipeline stage, capped at the core count).
+    """
+
+    array_backend: str = "numpy"
+    threads: int | None = None
+    bf16_weights: bool = False
+    processes: int | None = None
+
+
+class ArrayBackend:
+    """Primitive array operations the nn kernels dispatch through.
+
+    Implementations must preserve numpy semantics exactly for ``empty``
+    / ``relu_`` and within fp32 rounding for ``matmul`` (row-partitioned
+    GEMMs are bit-identical on typical BLAS builds; the test suite pins
+    the tolerance).  ``map_slices`` must invoke ``fn`` over a disjoint
+    cover of ``range(0, n)`` -- callers rely on every index being
+    visited exactly once, in any order, possibly concurrently.
+    """
+
+    #: Registry name; set by the concrete class.
+    name = "?"
+    #: True when ``matmul``/``map_slices`` fan work over real worker
+    #: threads (drives dispatch decisions, e.g. the col2im scatter).
+    parallel = False
+
+    # -- GEMM / alloc / elementwise ---------------------------------------
+    def matmul(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``a @ b`` (2-D), optionally into a preallocated ``out``."""
+        raise NotImplementedError
+
+    def empty(self, shape, dtype=np.float32) -> np.ndarray:
+        """Uninitialized scratch, numpy layout (C-contiguous)."""
+        return np.empty(shape, dtype=dtype)
+
+    def relu_(self, x: np.ndarray) -> np.ndarray:
+        """In-place ``max(x, 0)``; returns ``x``."""
+        np.maximum(x, 0.0, out=x)
+        return x
+
+    # -- batch-sliced fan-out ---------------------------------------------
+    def map_slices(
+        self, fn: Callable[[int, int], None], n: int, min_chunk: int = 1
+    ) -> None:
+        """Run ``fn(lo, hi)`` over a partition of ``range(0, n)``.
+
+        Serial backends call ``fn(0, n)`` once; parallel backends may
+        split into chunks of at least ``min_chunk`` and run them on
+        worker threads.  ``fn`` must only write to disjoint slices.
+        """
+        if n > 0:
+            fn(0, n)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release pools/threads; idempotent."""
+
+    def describe(self) -> dict:
+        """Stable JSON-friendly identity for reports and benches."""
+        return {"name": self.name, "parallel": self.parallel}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()!r}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """The seed engine: every hook is the numpy call the kernels always
+    made, so selecting ``numpy`` is numerically a no-op."""
+
+    name = "numpy"
+    parallel = False
+
+    def matmul(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            return np.matmul(a, b)
+        return np.matmul(a, b, out=out)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "parallel": False, "threads": 1}

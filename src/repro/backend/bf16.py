@@ -1,0 +1,153 @@
+"""bf16 weight emulation: truncated-uint16 storage, fp32 compute.
+
+NeuronFabric's BF16W result (PAPERS.md) is that reduced-precision
+*weight storage* composes naturally with local learning: each block's
+updates stay local, so the usual bf16 worry -- error accumulating
+across a deep global backward -- never materializes.  This module
+emulates that storage mode on a plain-numpy substrate:
+
+* a weight "stored as bf16" is an fp32 array whose low 16 mantissa bits
+  are zero, i.e. exactly the value a real bf16 register would hold
+  (truncation, round-toward-zero -- relative error < 2**-7 for
+  normals);
+* after every optimizer step the updated weights are re-truncated in
+  place (one uint32-view mask, no copies), so the training trajectory
+  is bit-identical to genuinely storing uint16 and widening before each
+  use, while the GEMMs keep running on the fp32 arrays untouched;
+* memory accounting sees the 2-byte truth: a converted
+  :class:`~repro.nn.module.Parameter` reports ``size * 2`` from
+  ``nbytes``, which flows through ``parameter_bytes`` -> the memory
+  profiler -> the partitioner, genuinely extending the paper's
+  memory-budget axis (smaller weight residency admits larger feasible
+  batches).
+
+Gradients and optimizer state (momentum etc.) deliberately stay fp32:
+the paper-relevant saving is resident *weights*, and fp32 state keeps
+small updates from stalling (a bf16 accumulator drops updates below
+~2**-7 of the weight magnitude).
+
+:func:`pack_bf16_state` / :func:`unpack_bf16_state` are the wire format
+for shipping a converted module's weights between processes at 2 bytes
+per scalar (used by the multiprocess executor's result handoff).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BF16_BYTES = 2
+
+#: Truncation bound for normal fp32 values: bf16 keeps 7 explicit
+#: mantissa bits, so dropping fp32's low 16 changes the value by
+#: < 2**-7 relative (one ulp at the kept precision).
+BF16_REL_ERROR_BOUND = 2.0 ** -7
+
+
+def to_bf16(x: np.ndarray) -> np.ndarray:
+    """Truncate fp32 -> bf16 bit patterns as ``uint16`` (the storage)."""
+    x = np.ascontiguousarray(x, dtype=np.float32)
+    return (x.view(np.uint32) >> np.uint32(16)).astype(np.uint16)
+
+
+def from_bf16(u: np.ndarray) -> np.ndarray:
+    """Widen ``uint16`` bf16 bit patterns back to fp32 (the compute view)."""
+    u = np.ascontiguousarray(u, dtype=np.uint16)
+    return (u.astype(np.uint32) << np.uint32(16)).view(np.float32)
+
+
+def truncate_bf16_(x: np.ndarray) -> np.ndarray:
+    """In-place fp32 -> nearest-below bf16-representable value.
+
+    Equivalent to ``from_bf16(to_bf16(x))`` without the copies; the
+    fixed point of this map *is* the set of bf16-representable floats,
+    so applying it after every update keeps an fp32 master array
+    carrying exact bf16 numerics.
+    """
+    if x.dtype != np.float32 or not x.flags.c_contiguous:
+        x[...] = from_bf16(to_bf16(x)).reshape(x.shape)
+        return x
+    x.view(np.uint32)[...] &= np.uint32(0xFFFF0000)
+    return x
+
+
+def bf16_roundtrip(x: np.ndarray) -> np.ndarray:
+    """``from_bf16(to_bf16(x))`` reshaped to ``x`` (a copy)."""
+    return from_bf16(to_bf16(x)).reshape(np.shape(x))
+
+
+def enable_bf16_weights(*modules) -> int:
+    """Mark every parameter of ``modules`` bf16-stored and truncate its
+    current value; returns the number of parameters converted.
+
+    Idempotent: re-truncating an already-truncated array is the
+    identity, and ``storage`` is simply re-set.
+    """
+    converted = 0
+    for module in modules:
+        for p in module.parameters():
+            p.storage = "bf16"
+            truncate_bf16_(p.data)
+            converted += 1
+    return converted
+
+
+def is_bf16(param) -> bool:
+    return getattr(param, "storage", "fp32") == "bf16"
+
+
+def pack_bf16_state(state: dict) -> dict:
+    """State-dict values -> uint16 bf16 payloads (2 bytes/scalar wire)."""
+    return {k: to_bf16(v) for k, v in state.items()}
+
+
+def unpack_bf16_state(state: dict) -> dict:
+    """Inverse of :func:`pack_bf16_state` (shapes preserved)."""
+    return {k: from_bf16(v).reshape(np.shape(v)) for k, v in state.items()}
+
+
+class Bf16WeightOptimizer:
+    """Optimizer wrapper enforcing bf16 weight storage after each step.
+
+    Delegates everything to the wrapped optimizer -- state layout,
+    serialization, learning-rate schedule attributes -- and adds one
+    post-step pass that re-truncates every bf16-stored parameter.  The
+    wrapped optimizer's own state (momentum buffers) is untouched fp32.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    # -- the one behavioral addition --------------------------------------
+    def step(self) -> None:
+        self.inner.step()
+        for p in self.inner.params:
+            if is_bf16(p):
+                truncate_bf16_(p.data)
+
+    # -- pure delegation ---------------------------------------------------
+    @property
+    def params(self):
+        return self.inner.params
+
+    @property
+    def lr(self):
+        return self.inner.lr
+
+    @lr.setter
+    def lr(self, value):
+        self.inner.lr = value
+
+    def zero_grad(self) -> None:
+        self.inner.zero_grad()
+
+    def state_bytes(self) -> int:
+        return self.inner.state_bytes()
+
+    def state_dict(self) -> dict:
+        return self.inner.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self.inner.load_state_dict(state)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

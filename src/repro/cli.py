@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli all          # everything (slow)
     python -m repro.cli run job.json
     python -m repro.cli run job.json --backend pipelined --report-json out.json
+    python -m repro.cli run job.json --backend multiprocess --processes 4
+    python -m repro.cli run job.json --array-backend threaded --threads 4
     python -m repro.cli serve --platform agx_orin --arrival-rate 200
     python -m repro.cli parallel --schedule pipelined --epochs 3
     python -m repro.cli parallel --events faults.json --report-json run.json
@@ -17,8 +19,10 @@ Usage::
 Each command prints the reproduced figure/table as a plain-text table.
 ``run`` is the unified entry point: it executes a declarative
 :class:`repro.api.JobSpec` JSON file on any registered backend
-(``sequential`` / ``pipelined`` / ``federated`` / ``federated-async`` /
-``serving``) and prints the unified report.  ``serve`` and ``parallel``
+(``sequential`` / ``pipelined`` / ``multiprocess`` / ``federated`` /
+``federated-async`` / ``serving``) and prints the unified report; the
+``--array-backend`` / ``--threads`` / ``--bf16-weights`` / ``--processes``
+flags override the spec's ``compute`` section field-by-field.  ``serve`` and ``parallel``
 are legacy spec-builders kept for backward compatibility: they assemble
 the equivalent JobSpec from their flags and drive the same
 :func:`repro.api.run` path (a once-per-process :class:`DeprecationWarning`
@@ -161,6 +165,33 @@ def build_run_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write one CSV row per epoch/round (loss, accuracy, wall-clock)",
     )
+    from repro.backend import available_array_backends
+
+    parser.add_argument(
+        "--array-backend",
+        default=None,
+        choices=available_array_backends(),
+        help="override the spec's compute.array_backend (GEMM engine)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="GEMM threads for the threaded array backend",
+    )
+    parser.add_argument(
+        "--bf16-weights",
+        action="store_true",
+        help="store weights as truncated bf16 (fp32 compute, fp32 optimizer)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stage processes for the multiprocess backend",
+    )
     return parser
 
 
@@ -204,6 +235,23 @@ def _run_run(argv: list[str]) -> int:
         for key, value in set_flags.items():
             setattr(section, key, value)
         spec.observability = section
+    # Same override rule for the compute section: flags win field-by-field,
+    # absent flags leave the spec's values (or defaults) alone.
+    compute_flags = {
+        "array_backend": args.array_backend,
+        "threads": args.threads,
+        "bf16_weights": args.bf16_weights or None,
+        "processes": args.processes,
+    }
+    set_compute = {k: v for k, v in compute_flags.items() if v is not None}
+    if set_compute:
+        from repro.api import ComputeSection
+
+        section = spec.compute or ComputeSection()
+        for key, value in set_compute.items():
+            setattr(section, key, value)
+        section.__post_init__()  # re-validate the overridden fields
+        spec.compute = section
     print(
         f"running {spec.model.name} job on backend {spec.backend!r}...",
         file=sys.stderr,

@@ -66,11 +66,17 @@ def unit_allocation_plan(
     """
     plan: list[tuple[str, int]] = []
     params = spec.module.parameter_bytes()
+    grads = spec.module.gradient_bytes()
     if aux_head is not None:
         params += aux_head.parameter_bytes()
+        grads += aux_head.gradient_bytes()
     plan.append(("params", params))
-    plan.append(("grads", params))
-    plan.append(("optimizer", optimizer_state_bytes(params, optimizer)))
+    # Gradients and optimizer state are full precision regardless of the
+    # weight storage mode (bf16 emulation halves only the params line),
+    # so they are sized from gradient bytes, not resident weight bytes.
+    # In fp32 mode the two are equal and the plan is unchanged.
+    plan.append(("grads", grads))
+    plan.append(("optimizer", optimizer_state_bytes(grads, optimizer)))
     in_shape = (batch_size, spec.in_channels, *spec.in_hw)
     plan.append(("input", int(np.prod(in_shape)) * FLOAT_BYTES))
     shape = in_shape

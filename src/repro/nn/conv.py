@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.registry import matmul as backend_matmul
 from repro.errors import ConfigError, ShapeError
 from repro.nn import init as nn_init
 from repro.nn.functional import (
@@ -122,7 +123,7 @@ class Conv2d(Module):
         wmat = self.weight.data.reshape(self.out_channels, -1)
         if self._ws is None:
             cols, (out_h, out_w) = im2col(x, self.kernel_size, self.stride, self.padding)
-            out = cols @ wmat.T
+            out = backend_matmul(cols, wmat.T)
         else:
             out_h, out_w = self.output_hw((x.shape[2], x.shape[3]))
             xp = None
@@ -139,7 +140,7 @@ class Conv2d(Module):
                 out=cols_buf, padded=xp,
             )
             out, _ = self._buf("out_mat", (cols.shape[0], self.out_channels), rt)
-            np.matmul(cols, wmat.T, out=out)
+            backend_matmul(cols, wmat.T, out=out)
         if self.bias is not None:
             out += self.bias.data
         y = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
@@ -163,12 +164,12 @@ class Conv2d(Module):
         m = n * out_h * out_w
         if self._ws is None:
             dmat = grad_out.transpose(0, 2, 3, 1).reshape(m, self.out_channels)
-            self.weight.grad += (dmat.T @ self._cols).reshape(self.weight.data.shape)
+            self.weight.grad += backend_matmul(dmat.T, self._cols).reshape(self.weight.data.shape)
         else:
             dmat, _ = self._buf("dmat", (m, self.out_channels), grad_out.dtype)
             dmat[...] = grad_out.transpose(0, 2, 3, 1).reshape(m, self.out_channels)
             dw, _ = self._buf("dw", (self.out_channels, self._cols.shape[1]), dmat.dtype)
-            np.matmul(dmat.T, self._cols, out=dw)
+            backend_matmul(dmat.T, self._cols, out=dw)
             self.weight.grad += dw.reshape(self.weight.data.shape)
         if self.bias is not None:
             self.bias.grad += dmat.sum(axis=0)
@@ -178,10 +179,10 @@ class Conv2d(Module):
         back_w = self.feedback if self.feedback is not None else self.weight.data
         wmat = back_w.reshape(self.out_channels, -1)
         if self._ws is None:
-            dcols = dmat @ wmat
+            dcols = backend_matmul(dmat, wmat)
         else:
             dcols, _ = self._buf("dcols", (m, wmat.shape[1]), dmat.dtype)
-            np.matmul(dmat, wmat, out=dcols)
+            backend_matmul(dmat, wmat, out=dcols)
         dx = col2im(
             dcols, self._x_shape, self.kernel_size, self.stride, self.padding, self._out_hw
         )
@@ -240,7 +241,7 @@ class Conv2d(Module):
             wext[kk, :] = self.bias.data
 
         out, _ = self._buf("out_mat", (m, f), rt)
-        np.matmul(cols, wext, out=out)
+        backend_matmul(cols, wext, out=out)
         if self.activation == "relu":
             np.maximum(out, 0, out=out)
         if self.training:
@@ -288,7 +289,7 @@ class Conv2d(Module):
             np.multiply(dmat, mask, out=dmat)
 
         dwdb, _ = self._buf("dwdb", (f, self._cols.shape[1]), dmat.dtype)
-        np.matmul(dmat.T, self._cols, out=dwdb)
+        backend_matmul(dmat.T, self._cols, out=dwdb)
         self.weight.grad += dwdb[:, :kk].reshape(f, k, k, c).transpose(0, 3, 1, 2)
         if self.bias is not None:
             self.bias.grad += dwdb[:, kk]
@@ -305,7 +306,7 @@ class Conv2d(Module):
         else:
             back_w = self._wext[:kk, :]
         dcols, _ = self._buf("dcols", (m, kk), dmat.dtype)
-        np.matmul(dmat, back_w.T, out=dcols)
+        backend_matmul(dmat, back_w.T, out=dcols)
         dxp, _ = self._buf("dxp_nhwc", (n, h + 2 * p, w + 2 * p, c), dmat.dtype)
         col2im_nhwc(dcols.reshape(n, out_h, out_w, k, k, c), k, s, out=dxp)
         self._cols = None

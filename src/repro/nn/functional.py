@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.registry import active_backend, map_slices
 from repro.errors import ShapeError
 
 
@@ -231,56 +232,52 @@ def overlap_add(contrib: np.ndarray, ntail: int = 1) -> np.ndarray:
     return shifted.sum(axis=kpos)
 
 
-def col2im_nhwc(
-    dcols: np.ndarray,
+#: Smallest ``dcols.size`` worth fanning the scatter over threads; below
+#: this the pool dispatch overhead exceeds the scatter itself.
+THREADED_SCATTER_MIN_SIZE = 1 << 16
+
+
+def col2im_dispatch(
     kernel: int,
     stride: int,
-    out: np.ndarray,
-    method: str = "auto",
-) -> np.ndarray:
-    """Adjoint of :func:`im2col_nhwc`: scatter-add columns onto ``out``.
+    tiled_ok: bool,
+    n: int,
+    size: int,
+    parallel: bool | None = None,
+) -> str:
+    """Resolve ``method="auto"`` for :func:`col2im_nhwc`.
 
-    ``dcols`` is (N, out_h, out_w, k, k, C); ``out`` is the padded NHWC
-    gradient target (N, Hp, Wp, C), fully overwritten.  Three execution
-    strategies:
-
-    * ``"tiled"`` -- ``stride == kernel`` with exact tiling: every input
-      position receives exactly one window element, so the whole scatter is
-      one reshaped assignment (no zero-fill, no loop).
-    * ``"overlap"`` -- ``stride == 1``: two :func:`overlap_add` passes
-      (width then height) replace the k*k Python loop.  Benchmarks at
-      parity with the loop for realistic kernels, so it is explicit-only.
-    * ``"loop"`` -- generic bulk slice adds (one per window offset); for
-      small kernels this touches the least memory and stays fastest.
-
-    ``method="auto"`` picks ``"tiled"`` when the geometry allows, else
-    ``"loop"``.
+    Exposed so callers (the kernel bench) can record *which* path a
+    geometry actually takes: ``"tiled"`` when the window geometry tiles
+    exactly; ``"threaded"`` for big scatters (notably the k5/stride-1
+    overlap case that no single-thread rewrite beats -- see
+    ``col2im_overlap_k5`` in BENCH_kernels.json) when the active array
+    backend has worker threads; explicit ``"loop"`` fallback otherwise.
+    ``parallel=None`` reads the active backend.
     """
-    n, out_h, out_w, k, _, c = dcols.shape
-    np_, hp, wp, c_ = out.shape
-    if (np_, c_) != (n, c) or k != kernel:
-        raise ShapeError(f"col2im target {out.shape} does not match {dcols.shape}")
-    tiled_ok = stride == kernel and hp == out_h * kernel and wp == out_w * kernel
-    if method == "auto":
-        # "overlap" is available explicitly but not auto-dispatched: the
-        # committed benchmark (col2im_overlap_k5 in BENCH_kernels.json)
-        # measures it at parity with the bulk-add loop even at k=5.
-        method = "tiled" if tiled_ok else "loop"
-    if method == "tiled":
-        if not tiled_ok:
-            raise ShapeError("tiled col2im requires stride == kernel and exact tiling")
-        view = out.reshape(n, out_h, kernel, out_w, kernel, c)
-        view[...] = dcols.transpose(0, 1, 3, 2, 4, 5)
-        return out
-    if method == "overlap":
-        if stride != 1:
-            raise ShapeError("overlap col2im requires stride == 1")
-        # Fold kj into the width axis, then ki into the height axis.
-        by_width = overlap_add(dcols.transpose(0, 1, 3, 4, 2, 5), ntail=1)
-        out[...] = overlap_add(by_width.transpose(0, 2, 1, 3, 4), ntail=2)
-        return out
-    if method != "loop":
-        raise ShapeError(f"unknown col2im method {method!r}")
+    if tiled_ok:
+        return "tiled"
+    if parallel is None:
+        parallel = active_backend().parallel
+    if parallel and n >= 2 and size >= THREADED_SCATTER_MIN_SIZE:
+        return "threaded"
+    return "loop"
+
+
+def _col2im_scatter_loop(
+    dcols: np.ndarray,
+    out: np.ndarray,
+    kernel: int,
+    stride: int,
+    out_h: int,
+    out_w: int,
+) -> None:
+    """The generic bulk-slice scatter core (one add per window offset).
+
+    Operates on any batch slice: the threaded path calls it per
+    batch-chunk (disjoint ``out`` rows, same offset order per element,
+    so results are bit-identical to the serial call).
+    """
     if stride == 1:
         # First window offset covers [0:out_h, 0:out_w] -- write it as an
         # assignment and zero only the uncovered border strips, saving a
@@ -296,6 +293,69 @@ def col2im_nhwc(
         out[
             :, i : i + stride * out_h : stride, j : j + stride * out_w : stride, :
         ] += dcols[:, :, :, i, j, :]
+
+
+def col2im_nhwc(
+    dcols: np.ndarray,
+    kernel: int,
+    stride: int,
+    out: np.ndarray,
+    method: str = "auto",
+) -> np.ndarray:
+    """Adjoint of :func:`im2col_nhwc`: scatter-add columns onto ``out``.
+
+    ``dcols`` is (N, out_h, out_w, k, k, C); ``out`` is the padded NHWC
+    gradient target (N, Hp, Wp, C), fully overwritten.  Four execution
+    strategies:
+
+    * ``"tiled"`` -- ``stride == kernel`` with exact tiling: every input
+      position receives exactly one window element, so the whole scatter is
+      one reshaped assignment (no zero-fill, no loop).
+    * ``"overlap"`` -- ``stride == 1``: two :func:`overlap_add` passes
+      (width then height) replace the k*k Python loop.  Benchmarks at
+      parity with the loop for realistic kernels, so it is explicit-only.
+    * ``"threaded"`` -- the loop core fanned over batch chunks via the
+      active array backend's ``map_slices`` (disjoint output rows, no
+      locks; bit-identical to ``"loop"``).  Degrades gracefully to the
+      serial loop when the backend has no worker threads.
+    * ``"loop"`` -- generic bulk slice adds (one per window offset); for
+      small kernels this touches the least memory single-threaded.
+
+    ``method="auto"`` resolves through :func:`col2im_dispatch`:
+    ``"tiled"`` when the geometry allows, ``"threaded"`` for large
+    scatters under a parallel backend, else ``"loop"``.
+    """
+    n, out_h, out_w, k, _, c = dcols.shape
+    np_, hp, wp, c_ = out.shape
+    if (np_, c_) != (n, c) or k != kernel:
+        raise ShapeError(f"col2im target {out.shape} does not match {dcols.shape}")
+    tiled_ok = stride == kernel and hp == out_h * kernel and wp == out_w * kernel
+    if method == "auto":
+        method = col2im_dispatch(kernel, stride, tiled_ok, n, dcols.size)
+    if method == "tiled":
+        if not tiled_ok:
+            raise ShapeError("tiled col2im requires stride == kernel and exact tiling")
+        view = out.reshape(n, out_h, kernel, out_w, kernel, c)
+        view[...] = dcols.transpose(0, 1, 3, 2, 4, 5)
+        return out
+    if method == "overlap":
+        if stride != 1:
+            raise ShapeError("overlap col2im requires stride == 1")
+        # Fold kj into the width axis, then ki into the height axis.
+        by_width = overlap_add(dcols.transpose(0, 1, 3, 4, 2, 5), ntail=1)
+        out[...] = overlap_add(by_width.transpose(0, 2, 1, 3, 4), ntail=2)
+        return out
+    if method == "threaded":
+        def scatter(lo: int, hi: int) -> None:
+            _col2im_scatter_loop(
+                dcols[lo:hi], out[lo:hi], kernel, stride, out_h, out_w
+            )
+
+        map_slices(scatter, n)
+        return out
+    if method != "loop":
+        raise ShapeError(f"unknown col2im method {method!r}")
+    _col2im_scatter_loop(dcols, out, kernel, stride, out_h, out_w)
     return out
 
 

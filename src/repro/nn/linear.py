@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.registry import matmul as backend_matmul
 from repro.errors import ConfigError, ShapeError
 from repro.nn import init as nn_init
 from repro.nn.module import Module, Parameter
@@ -62,7 +63,7 @@ class Linear(Module):
             raise ShapeError(f"expected (N, {self.in_features}), got {x.shape}")
         if self.fused:
             return self._forward_fused(x)
-        out = x @ self.weight.data.T
+        out = backend_matmul(x, self.weight.data.T)
         if self.bias is not None:
             out += self.bias.data
         self._x = x if self.training else None
@@ -76,10 +77,10 @@ class Linear(Module):
         if self.fused:
             return self._backward_fused(grad_out, need_input_grad)
         if self._ws is None:
-            self.weight.grad += grad_out.T @ self._x
+            self.weight.grad += backend_matmul(grad_out.T, self._x)
         else:
             dw, _ = self._buf("dw", self.weight.data.shape, grad_out.dtype)
-            np.matmul(grad_out.T, self._x, out=dw)
+            backend_matmul(grad_out.T, self._x, out=dw)
             self.weight.grad += dw
         if self.bias is not None:
             self.bias.grad += grad_out.sum(axis=0)
@@ -87,7 +88,7 @@ class Linear(Module):
         if not need_input_grad:
             return None
         back_w = self.feedback if self.feedback is not None else self.weight.data
-        return grad_out @ back_w
+        return backend_matmul(grad_out, back_w)
 
     # -- fused path -------------------------------------------------------
     def _forward_fused(self, x: np.ndarray) -> np.ndarray:
@@ -104,7 +105,7 @@ class Linear(Module):
         if self.bias is not None:
             wext[:, d] = self.bias.data
         out = np.empty((n, self.out_features), rt)
-        np.matmul(xext, wext.T, out=out)
+        backend_matmul(xext, wext.T, out=out)
         if self.activation == "relu":
             np.maximum(out, 0, out=out)
         if self.training:
@@ -125,7 +126,7 @@ class Linear(Module):
         else:
             dmat = grad_out
         dwdb, _ = self._buf("dwdb", (self.out_features, self._x.shape[1]), dmat.dtype)
-        np.matmul(dmat.T, self._x, out=dwdb)
+        backend_matmul(dmat.T, self._x, out=dwdb)
         self.weight.grad += dwdb[:, :d]
         if self.bias is not None:
             self.bias.grad += dwdb[:, d]
@@ -134,4 +135,4 @@ class Linear(Module):
         if not need_input_grad:
             return None
         back_w = self.feedback if self.feedback is not None else self.weight.data
-        return dmat @ back_w
+        return backend_matmul(dmat, back_w)

@@ -10,6 +10,14 @@ full training step -- in two configurations:
 * ``fast``: the fused NHWC path with a workspace attached and input
   gradients skipped where trainers discard them.
 
+The ``backend`` suite covers the pluggable array-backend layer
+(:mod:`repro.backend`): threaded tiled GEMMs vs plain numpy
+(``gemm_im2col``, also the ``--gate-threaded`` CI floor), real forked
+multiprocess block-parallel training vs the same executor single-process
+(``mp_block_parallel``, with cores and the >=1.5x claim recorded
+honestly), and bf16 weight emulation (``bf16_vgg11``: resident weight
+bytes, peak memory, end-accuracy delta).
+
 ``run_suite`` returns a JSON-serializable report; ``benchmarks/
 bench_kernels.py`` and the ``bench`` CLI subcommand write it to
 ``BENCH_kernels.json`` so every future PR has a committed perf baseline to
@@ -20,6 +28,7 @@ test (CI runs it on every push so the harness itself cannot rot).
 from __future__ import annotations
 
 import json
+import os
 import platform as _platform
 import time
 
@@ -28,7 +37,15 @@ import numpy as np
 from repro.errors import ConfigError
 
 #: Accepted suite selectors for run_suite / the CLI.
-SUITES = ("micro", "macro", "all")
+SUITES = ("micro", "macro", "backend", "all")
+
+#: Floor for the ``--gate-threaded`` CI check on the ``gemm_im2col``
+#: speedup.  On a single-core host the threaded backend degrades to plain
+#: ``np.matmul`` (so the true ratio is 1.0x) -- the margin below 1.0 only
+#: absorbs timer jitter, it is not a license to regress.  The gate is
+#: skipped (not failed) when the requested thread count oversubscribes
+#: the host's cores: a forced pool on too few cores pays real overhead.
+GATE_THREADED_FLOOR = 0.95
 
 _DEFAULT_MODEL = "vgg11"
 
@@ -43,6 +60,28 @@ def _time_ms(fn, reps: int, warmup: int = 2) -> float:
         fn()
         best = min(best, time.perf_counter() - t0)
     return best * 1e3
+
+
+def _time_pair_ms(fn_a, fn_b, reps: int, warmup: int = 2) -> tuple[float, float]:
+    """Best-of wall-clock for two functions, measured *interleaved*.
+
+    Timing the loops back-to-back lets scheduler noise land entirely on
+    one side (a 1.4x phantom "speedup" between identical calls was
+    observed on a busy host); alternating the samples makes both sides
+    see the same noise, which is what a CI regression gate needs.
+    """
+    for _ in range(warmup):
+        fn_a()
+        fn_b()
+    best_a = best_b = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a * 1e3, best_b * 1e3
 
 
 def _entry(seed_ms: float, fast_ms: float, **extra) -> dict:
@@ -104,8 +143,18 @@ def bench_col2im(batch: int, reps: int, seed: int = 0) -> dict:
 
 
 def bench_col2im_overlap(batch: int, reps: int, seed: int = 0) -> dict:
-    """Large-kernel stride-1 scatter: Python loop vs overlap-add fast path."""
-    from repro.nn.functional import col2im_nhwc
+    """Large-kernel stride-1 scatter: serial loop vs the auto-dispatched path.
+
+    The single-thread overlap-add rewrite benched at parity with the loop
+    (1.06x), so ``method="auto"`` now resolves through
+    :func:`~repro.nn.functional.col2im_dispatch` instead: ``"threaded"``
+    (the loop core fanned over batch chunks) when the active array backend
+    has worker threads and the scatter is big enough, else an explicit
+    ``"loop"`` fallback.  The resolved path is recorded in the row so the
+    committed baseline states which strategy actually ran.
+    """
+    from repro.backend import active_backend
+    from repro.nn.functional import col2im_dispatch, col2im_nhwc
 
     rng = np.random.default_rng(seed)
     n, c, k = batch, 16, 5
@@ -113,12 +162,55 @@ def bench_col2im_overlap(batch: int, reps: int, seed: int = 0) -> dict:
     hp = oh + k - 1
     dcols = rng.standard_normal((n, oh, ow, k, k, c)).astype(np.float32)
     out = np.empty((n, hp, hp, c), np.float32)
-
-    return _entry(
-        _time_ms(lambda: col2im_nhwc(dcols, k, 1, out=out, method="loop"), reps),
-        _time_ms(lambda: col2im_nhwc(dcols, k, 1, out=out, method="overlap"), reps),
-        kernel=k,
+    path = col2im_dispatch(k, 1, False, n, dcols.size)
+    seed_ms, fast_ms = _time_pair_ms(
+        lambda: col2im_nhwc(dcols, k, 1, out=out, method="loop"),
+        lambda: col2im_nhwc(dcols, k, 1, out=out, method=path),
+        max(reps, 10),
     )
+    return _entry(
+        seed_ms,
+        fast_ms,
+        kernel=k,
+        path=path,
+        array_backend=active_backend().name,
+    )
+
+
+def bench_gemm_im2col(batch: int, reps: int, seed: int = 0, threads: int | None = None) -> dict:
+    """The conv-core GEMM (im2col rows x filter matrix): numpy vs threaded.
+
+    Row tiles are bit-identical to the monolithic ``np.matmul`` (each
+    output row is one independent dot-product sweep), so the threaded
+    backend is a pure wall-clock play; the row records the thread count
+    actually used.
+    """
+    from repro.backend import get_array_backend
+
+    rng = np.random.default_rng(seed)
+    n, oh, c, k, cout = batch, 16, 32, 3, 64
+    # At least 4096 rows: big enough that one call dwarfs timer noise
+    # (the CI gate reads this row) and that the tiled path actually
+    # engages (the backend needs >= 2*min_rows to split).
+    m = max(4096, n * oh * oh)
+    cols = rng.standard_normal((m, c * k * k)).astype(np.float32)
+    wmat = rng.standard_normal((c * k * k, cout)).astype(np.float32)
+    out = np.empty((m, cout), np.float32)
+    backend = get_array_backend("threaded", threads=threads)
+    try:
+        seed_ms, fast_ms = _time_pair_ms(
+            lambda: np.matmul(cols, wmat, out),
+            lambda: backend.matmul(cols, wmat, out=out),
+            max(reps, 10),  # the CI gate reads this row; buy stability
+        )
+        return _entry(
+            seed_ms,
+            fast_ms,
+            shape=[m, c * k * k, cout],
+            threads=backend.threads,
+        )
+    finally:
+        backend.close()
 
 
 def bench_conv_step(batch: int, reps: int, seed: int = 0) -> dict:
@@ -310,6 +402,138 @@ def bench_ll_step(
     )
 
 
+# -- backend: real-parallelism and storage modes ---------------------------
+
+
+def _build_backend_system(
+    seed: int, bf16: bool = False, scale: float = 0.002, memory_mb: float = 1.0
+):
+    """A >=4-block vgg11 system on the tiny synthetic dataset.
+
+    The 1 MiB budget with the default 256 batch limit partitions the
+    width-0.125 vgg11 into 6 blocks -- enough stages for the multiprocess
+    executor to overlap meaningfully on a multi-core host.
+    """
+    from repro.backend import ComputeConfig
+    from repro.core.controller import NeuroFlux
+    from repro.data.registry import dataset_spec
+    from repro.models.zoo import build_model
+
+    data = dataset_spec(
+        "cifar10",
+        scale=scale,
+        image_hw=(16, 16),
+        num_classes=4,
+        noise_std=0.4,
+        seed=7 + seed,
+    ).materialize()
+    model = build_model(
+        "vgg11",
+        num_classes=4,
+        input_hw=(16, 16),
+        width_multiplier=MACRO_WIDTH,
+        seed=3 + seed,
+        fused=True,
+    )
+    return NeuroFlux(
+        model,
+        data,
+        memory_budget=int(memory_mb * (1 << 20)),
+        compute=ComputeConfig(bf16_weights=bf16),
+    )
+
+
+def bench_mp_block_parallel(reps: int, quick: bool, seed: int = 0) -> dict:
+    """Single-process vs multiprocess block-parallel training wall-clock.
+
+    Both sides run the *same* forked-executor code path (so the comparison
+    isolates real core overlap, not serialization differences); each rep
+    rebuilds the system because training mutates the weights.  The paper's
+    parallel-efficiency claim (>= 1.5x) only applies on hosts with >= 4
+    cores -- ``claim_met`` is ``None`` below that, never fabricated.
+    """
+    import os
+
+    from repro.backend.multiproc import fork_available, run_block_parallel
+
+    cores = os.cpu_count() or 1
+    if not fork_available():
+        return {"skipped": "fork start method unavailable", "cores": cores}
+    epochs = 1 if quick else 2
+    reps = max(1, min(reps, 3))
+
+    def wall(processes: int) -> tuple[float, dict]:
+        best, extras = float("inf"), {}
+        for _ in range(reps):
+            system = _build_backend_system(seed)
+            report = run_block_parallel(system, epochs, processes=processes)
+            ex = report.result.extras
+            if ex["wall_clock_s"] < best:
+                best, extras = ex["wall_clock_s"], ex
+        return best * 1e3, extras
+
+    seed_ms, _ = wall(1)
+    fast_ms, extras = wall(None)  # one stage per core, capped at block count
+    row = _entry(
+        seed_ms,
+        fast_ms,
+        cores=cores,
+        processes=extras["processes"],
+        stages=extras["stages"],
+        claim_target=1.5,
+    )
+    # The >=1.5x acceptance claim is only measurable with real cores to
+    # overlap on; on smaller hosts the row records the honest overhead.
+    row["claim_met"] = (row["speedup"] >= 1.5) if cores >= 4 else None
+    return row
+
+
+def bench_bf16_vgg11(reps: int, quick: bool, seed: int = 0) -> dict:
+    """fp32 vs bf16-emulated weight storage: memory drop and accuracy delta.
+
+    ``seed``/``fast`` time the same sequential run under the two storage
+    modes (bf16 is a memory feature -- wall-clock parity is the
+    expectation); the payload is in the extras: resident weight bytes,
+    the drop percentage, and the end-accuracy delta.
+    """
+    epochs = 1 if quick else 2
+
+    def weight_bytes(system) -> int:
+        total = system.model.parameter_bytes()
+        for aux in system.aux_heads:
+            total += aux.parameter_bytes()
+        return total
+
+    results = {}
+    for mode, bf16 in (("seed", False), ("fast", True)):
+        t0 = time.perf_counter()
+        # 1.5 MiB: a 5-block partition with headroom for the sequential
+        # executor's measured (not fitted) residency allocations in both
+        # storage modes (bf16 packs batches closer to the budget line).
+        system = _build_backend_system(seed, bf16=bf16, memory_mb=1.5)
+        report = system.run(epochs)
+        results[mode] = {
+            "ms": (time.perf_counter() - t0) * 1e3,
+            "weight_bytes": weight_bytes(system),
+            "accuracy": report.exit_test_accuracy,
+            "peak_memory_bytes": report.result.peak_memory_bytes,
+        }
+    fp32, bf16_r = results["seed"], results["fast"]
+    drop = 1.0 - bf16_r["weight_bytes"] / fp32["weight_bytes"]
+    return _entry(
+        fp32["ms"],
+        bf16_r["ms"],
+        weight_bytes_fp32=fp32["weight_bytes"],
+        weight_bytes_bf16=bf16_r["weight_bytes"],
+        weight_drop_pct=round(100.0 * drop, 2),
+        peak_memory_fp32=fp32["peak_memory_bytes"],
+        peak_memory_bf16=bf16_r["peak_memory_bytes"],
+        accuracy_fp32=round(fp32["accuracy"], 4),
+        accuracy_bf16=round(bf16_r["accuracy"], 4),
+        accuracy_delta=round(bf16_r["accuracy"] - fp32["accuracy"], 4),
+    )
+
+
 # -- suite driver ----------------------------------------------------------
 
 
@@ -320,8 +544,18 @@ def run_suite(
     reps: int | None = None,
     model: str = _DEFAULT_MODEL,
     seed: int = 0,
+    array_backend: str | None = None,
+    threads: int | None = None,
 ) -> dict:
-    """Run the requested benchmark suite and return the report dict."""
+    """Run the requested benchmark suite and return the report dict.
+
+    ``array_backend`` activates a registered array backend for the whole
+    suite (the seed/fast kernels then dispatch their GEMMs and scatters
+    through it); ``None`` keeps the numpy default.
+    """
+    import os
+
+    from repro.backend import use_array_backend
     from repro.models.zoo import list_models
 
     if suite not in SUITES:
@@ -346,34 +580,47 @@ def run_suite(
             "reps": reps,
             "model": model,
             "seed": seed,
+            "array_backend": array_backend or "numpy",
         },
         "env": {
             "python": _platform.python_version(),
             "numpy": np.__version__,
             "machine": _platform.machine(),
+            "cores": os.cpu_count() or 1,
         },
     }
-    # Macro first: the micro benches leave allocator state (freed pools,
-    # fragmented arenas) that measurably skews subsequent macro timings.
-    if suite in ("macro", "all"):
-        report["macro"] = {
-            "bp_step": bench_bp_step(model, batch, reps, quick, seed=seed),
-            "ll_step": bench_ll_step(model, batch, reps, quick, seed=seed),
-        }
-        if not quick:
-            # A wider build tracks how the gains scale as the GEMMs (which
-            # both paths share) take a larger share of the step.
-            report["macro"]["bp_step_wide"] = bench_bp_step(
-                model, batch, reps, quick, width=2 * MACRO_WIDTH, seed=seed
-            )
-    if suite in ("micro", "all"):
-        micro_batch = max(1, batch // 4) if quick else batch
-        report["micro"] = {
-            "im2col": bench_im2col(micro_batch, reps, seed),
-            "col2im": bench_col2im(micro_batch, reps, seed),
-            "col2im_overlap_k5": bench_col2im_overlap(micro_batch, reps, seed),
-            "conv_step": bench_conv_step(micro_batch, reps, seed),
-            "maxpool_step": bench_maxpool_step(micro_batch, reps, seed),
+    backend_kwargs = {} if threads is None else {"threads": threads}
+    with use_array_backend(array_backend, **backend_kwargs):
+        # Macro first: the micro benches leave allocator state (freed pools,
+        # fragmented arenas) that measurably skews subsequent macro timings.
+        if suite in ("macro", "all"):
+            report["macro"] = {
+                "bp_step": bench_bp_step(model, batch, reps, quick, seed=seed),
+                "ll_step": bench_ll_step(model, batch, reps, quick, seed=seed),
+            }
+            if not quick:
+                # A wider build tracks how the gains scale as the GEMMs (which
+                # both paths share) take a larger share of the step.
+                report["macro"]["bp_step_wide"] = bench_bp_step(
+                    model, batch, reps, quick, width=2 * MACRO_WIDTH, seed=seed
+                )
+        if suite in ("micro", "all"):
+            micro_batch = max(1, batch // 4) if quick else batch
+            report["micro"] = {
+                "im2col": bench_im2col(micro_batch, reps, seed),
+                "col2im": bench_col2im(micro_batch, reps, seed),
+                "col2im_overlap_k5": bench_col2im_overlap(micro_batch, reps, seed),
+                "gemm_im2col": bench_gemm_im2col(micro_batch, reps, seed, threads),
+                "conv_step": bench_conv_step(micro_batch, reps, seed),
+                "maxpool_step": bench_maxpool_step(micro_batch, reps, seed),
+            }
+    if suite in ("backend", "all"):
+        # The backend suite manages its own engines (the multiprocess
+        # executor forks workers; an ambient thread pool must not be
+        # inherited mid-flight), so it runs outside the override.
+        report["backend"] = {
+            "mp_block_parallel": bench_mp_block_parallel(reps, quick, seed),
+            "bf16_vgg11": bench_bf16_vgg11(reps, quick, seed),
         }
     return report
 
@@ -387,16 +634,33 @@ def format_report(report: dict) -> str:
         f"reps={cfg['reps']}{' (quick)' if cfg['quick'] else ''}"
     )
     header = f"{'benchmark':<22} {'seed ms':>10} {'fast ms':>10} {'speedup':>8}"
-    for section in ("micro", "macro"):
+    for section in ("micro", "macro", "backend"):
         if section not in report:
             continue
         lines.append(f"\n[{section}]")
         lines.append(header)
         lines.append("-" * len(header))
         for name, row in report[section].items():
+            if "seed_ms" not in row:
+                lines.append(f"{name:<22} skipped: {row.get('skipped', '?')}")
+                continue
+            note = ""
+            if "path" in row:
+                note = f"  path={row['path']}"
+            elif "claim_met" in row:
+                met = row["claim_met"]
+                note = (
+                    f"  cores={row['cores']} claim(>=1.5x)="
+                    f"{'n/a' if met is None else met}"
+                )
+            elif "weight_drop_pct" in row:
+                note = (
+                    f"  weights -{row['weight_drop_pct']}% "
+                    f"acc {row['accuracy_delta']:+.4f}"
+                )
             lines.append(
                 f"{name:<22} {row['seed_ms']:>10.3f} {row['fast_ms']:>10.3f} "
-                f"{row['speedup']:>7.2f}x"
+                f"{row['speedup']:>7.2f}x{note}"
             )
     return "\n".join(lines)
 
@@ -416,7 +680,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="bench_kernels",
         description="Time the numpy kernel substrate (seed vs fused+workspace).",
     )
-    parser.add_argument("--suite", default="all", help="micro | macro | all")
+    parser.add_argument("--suite", default="all", help="micro | macro | backend | all")
     parser.add_argument(
         "--quick", action="store_true", help="small shapes / few reps (CI smoke)"
     )
@@ -432,6 +696,27 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the report to PATH (default: BENCH_kernels.json unless --quick)",
     )
+    parser.add_argument(
+        "--array-backend",
+        default=None,
+        metavar="NAME",
+        help="run the suite under a registered array backend (e.g. threaded)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread count for the threaded array backend",
+    )
+    parser.add_argument(
+        "--gate-threaded",
+        action="store_true",
+        help=(
+            "fail (exit 1) if the gemm_im2col threaded speedup falls below "
+            f"{GATE_THREADED_FLOOR}x of plain numpy (the CI regression gate)"
+        ),
+    )
     args = parser.parse_args(argv)
     try:
         report = run_suite(
@@ -441,6 +726,8 @@ def main(argv: list[str] | None = None) -> int:
             reps=args.reps,
             model=args.model,
             seed=args.seed,
+            array_backend=args.array_backend,
+            threads=args.threads,
         )
     except ConfigError as exc:
         print(f"bench: {exc}", file=sys.stderr)
@@ -452,4 +739,30 @@ def main(argv: list[str] | None = None) -> int:
     if json_path:
         write_report(report, json_path)
         print(f"\nwrote {json_path}")
+    if args.gate_threaded:
+        row = report.get("micro", {}).get("gemm_im2col")
+        if row is None:
+            print("bench: --gate-threaded needs the micro suite", file=sys.stderr)
+            return 2
+        cores = os.cpu_count() or 1
+        if row["threads"] > cores:
+            # Oversubscribed pools pay real context-switch cost with no
+            # parallelism to show for it; a speed floor is meaningless.
+            print(
+                f"gate-threaded skipped: {row['threads']} threads on "
+                f"{cores} core(s) (oversubscribed; measured "
+                f"{row['speedup']}x, not enforced)"
+            )
+            return 0
+        if row["speedup"] < GATE_THREADED_FLOOR:
+            print(
+                f"bench: threaded gemm regressed: {row['speedup']}x < "
+                f"{GATE_THREADED_FLOOR}x floor (threads={row['threads']})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"gate-threaded ok: {row['speedup']}x >= {GATE_THREADED_FLOOR}x "
+            f"(threads={row['threads']})"
+        )
     return 0

@@ -1,0 +1,93 @@
+"""Deterministic-numerics regression: backends must not move a single bit.
+
+The numpy backend is a passthrough, so training under it (explicitly or
+by default) must produce bit-identical weights and reports.  The threaded
+backend row-partitions GEMMs without changing per-element reduction
+order, so on this BLAS it is bit-identical too -- these tests pin that,
+guarding the backend seam against accidental numeric drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import use_array_backend
+from repro.core.config import NeuroFluxConfig
+from repro.core.controller import NeuroFlux
+from repro.models.zoo import build_model
+
+
+def _system(tiny_dataset, fused: bool = True):
+    return NeuroFlux(
+        build_model(
+            "vgg11",
+            num_classes=4,
+            input_hw=(16, 16),
+            width_multiplier=0.125,
+            seed=3,
+            fused=fused,
+        ),
+        tiny_dataset,
+        memory_budget=2 * 2**20,
+        config=NeuroFluxConfig(batch_limit=32, seed=0),
+    )
+
+
+def _weights(system) -> list[np.ndarray]:
+    out = [p.data.copy() for p in system.model.parameters()]
+    for aux in system.aux_heads:
+        out.extend(p.data.copy() for p in aux.parameters())
+    return out
+
+
+def _assert_same(a, b):
+    wa, wb = _weights(a), _weights(b)
+    assert len(wa) == len(wb)
+    for x, y in zip(wa, wb):
+        assert np.array_equal(x, y)
+
+
+def test_run_bit_identical_under_explicit_numpy(tiny_dataset):
+    default = _system(tiny_dataset)
+    r_default = default.run(1)
+    explicit = _system(tiny_dataset)
+    with use_array_backend("numpy"):
+        r_explicit = explicit.run(1)
+    _assert_same(default, explicit)
+    assert r_default.exit_test_accuracy == r_explicit.exit_test_accuracy
+    assert r_default.result.sim_time_s == r_explicit.result.sim_time_s
+
+
+def test_run_bit_identical_under_threaded(tiny_dataset):
+    baseline = _system(tiny_dataset)
+    r_base = baseline.run(1)
+    threaded = _system(tiny_dataset)
+    with use_array_backend("threaded", threads=2):
+        r_threaded = threaded.run(1)
+    _assert_same(baseline, threaded)
+    assert r_base.exit_test_accuracy == r_threaded.exit_test_accuracy
+
+
+def test_sequential_train_parallel_unaffected(tiny_dataset):
+    """The cluster-sequential schedule stays bit-identical to run()'s
+    weights with the seam in place (the PR 3 regression, re-pinned)."""
+    from repro.parallel.cluster import Cluster
+
+    solo = _system(tiny_dataset)
+    solo.run(1)
+    clustered = _system(tiny_dataset)
+    cluster = Cluster.from_names(
+        ["agx-orin", "agx-orin"], memory_budget=[2 * 2**20, 2 * 2**20]
+    )
+    clustered.train_parallel(cluster, epochs=1, schedule="sequential")
+    _assert_same(solo, clustered)
+
+
+def test_unfused_path_identical_under_threaded(tiny_dataset):
+    """The unfused conv kernels route their GEMMs through the seam too."""
+    baseline = _system(tiny_dataset, fused=False)
+    baseline.run(1)
+    threaded = _system(tiny_dataset, fused=False)
+    with use_array_backend("threaded", threads=2):
+        threaded.run(1)
+    _assert_same(baseline, threaded)
