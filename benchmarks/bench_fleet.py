@@ -1,0 +1,13 @@
+#!/usr/bin/env python
+"""Fleet serving benchmark: sharded N-replica fleet vs one static server.
+
+Thin wrapper around :mod:`repro.fleet.bench`; writes the committed
+``BENCH_fleet.json`` trajectory (``--quick`` for the CI smoke run).
+"""
+
+import sys
+
+from repro.fleet.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

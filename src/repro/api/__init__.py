@@ -54,6 +54,7 @@ _EXPORTS = {
     "DataSection": "repro.api.spec",
     "DeviceSection": "repro.api.spec",
     "FederatedSection": "repro.api.spec",
+    "FleetSection": "repro.api.spec",
     "JobSpec": "repro.api.spec",
     "ModelSection": "repro.api.spec",
     "ObservabilitySection": "repro.api.spec",

@@ -331,3 +331,63 @@ class ServingBackend(Backend):
             mode=serving.mode,
             config=context.extras["server_config"],
         )
+
+
+@register_backend("cluster-serving")
+class ClusterServingBackend(ServingBackend):
+    """Train once, then serve on an N-replica cluster-sharded fleet.
+
+    Reuses the ``serving`` section for the workload and per-replica
+    batcher/queue knobs; the ``cluster`` section is each replica's device
+    template (the cascade is sharded across it by the placement
+    optimizer) and the ``fleet`` section shapes the replica set, router
+    policy, autoscaling envelope, and churn schedule.
+    """
+
+    def prepare(self, spec: JobSpec) -> JobContext:
+        from repro.fleet import FleetConfig
+        from repro.runtime import EventSchedule
+
+        context = super().prepare(spec)
+        f = spec.fleet
+        context.extras["fleet_config"] = FleetConfig(
+            n_replicas=f.n_replicas,
+            policy=f.policy,
+            autoscale=f.autoscale,
+            max_replicas=f.max_replicas,
+            scale_up_at=f.scale_up_at,
+            scale_down_at=f.scale_down_at,
+            cooldown_s=f.cooldown_s,
+        )
+        schedule = None
+        if f.events is not None:
+            schedule = EventSchedule.from_json_dict(f.events)
+        elif f.events_file is not None:
+            schedule = EventSchedule.load(f.events_file)
+        context.extras["schedule"] = schedule
+        context.cluster = build_cluster_from_spec(spec)
+        return context
+
+    def execute(self, context: JobContext, callbacks):
+        from repro.fleet import simulate_fleet
+
+        spec: JobSpec = context.spec
+        serving = spec.serving
+        context.system.run(
+            spec.budgets.epochs,
+            time_budget_s=spec.budgets.time_budget_s,
+            callbacks=callbacks,
+        )
+        devices = spec.cluster.devices
+        return simulate_fleet(
+            context.system,
+            context.extras["workload"],
+            cluster_names=[d.platform for d in devices],
+            memory_budgets=[d.memory_budget for d in devices],
+            fleet=context.extras["fleet_config"],
+            server_config=context.extras["server_config"],
+            exit_layers=serving.exits,
+            threshold=serving.threshold,
+            mode=serving.mode,
+            schedule=context.extras["schedule"],
+        )

@@ -47,26 +47,39 @@ from repro.errors import ConfigError, SpecError
 #: ``defaults`` are workload sections materialized with their defaults
 #: when absent; ``needs_cluster`` backends refuse to invent hardware.
 BACKEND_SECTION_RULES: dict[str, dict] = {
-    "sequential": {"needs_cluster": False, "forbids": ("federated",), "defaults": ()},
-    "pipelined": {"needs_cluster": True, "forbids": ("federated",), "defaults": ()},
+    "sequential": {
+        "needs_cluster": False,
+        "forbids": ("federated", "fleet"),
+        "defaults": (),
+    },
+    "pipelined": {
+        "needs_cluster": True,
+        "forbids": ("federated", "fleet"),
+        "defaults": (),
+    },
     "federated": {
         "needs_cluster": False,
-        "forbids": ("cluster", "runtime", "serving"),
+        "forbids": ("cluster", "runtime", "serving", "fleet"),
         "defaults": ("federated",),
     },
     "federated-async": {
         "needs_cluster": False,
-        "forbids": ("cluster", "runtime", "serving"),
+        "forbids": ("cluster", "runtime", "serving", "fleet"),
         "defaults": ("federated",),
     },
     "serving": {
         "needs_cluster": False,
-        "forbids": ("cluster", "runtime", "federated"),
+        "forbids": ("cluster", "runtime", "federated", "fleet"),
         "defaults": ("serving",),
+    },
+    "cluster-serving": {
+        "needs_cluster": True,
+        "forbids": ("federated", "runtime"),
+        "defaults": ("serving", "fleet"),
     },
     "multiprocess": {
         "needs_cluster": False,
-        "forbids": ("cluster", "runtime", "federated", "serving"),
+        "forbids": ("cluster", "runtime", "federated", "serving", "fleet"),
         "defaults": (),
     },
 }
@@ -266,6 +279,59 @@ class ServingSection:
 
 
 @dataclass
+class FleetSection:
+    """Multi-replica cluster serving (see :mod:`repro.fleet`).
+
+    Rides next to ``serving`` (which keeps owning the workload and the
+    per-replica batcher/queue knobs); this section owns the fleet shape:
+    replica count, router policy, autoscaling envelope, and the churn
+    schedule replayed as replica-level slowdowns, failures and joins.
+    The spec's ``cluster`` section is each replica's device template.
+    """
+
+    _section = "fleet"
+
+    n_replicas: int = 2
+    policy: str = "latency-aware"
+    autoscale: bool = False
+    max_replicas: int = 4
+    scale_up_at: float = 0.75
+    scale_down_at: float = 0.05
+    cooldown_s: float = 0.25
+    #: Inline churn schedule (the ``EventSchedule`` JSON shape), with
+    #: ``device`` read as a replica index.
+    events: dict | None = None
+    #: Path to a schedule file; mutually exclusive with ``events``.
+    events_file: str | None = None
+
+    def __post_init__(self) -> None:
+        from repro.fleet.router import ROUTER_POLICIES
+
+        if self.policy not in ROUTER_POLICIES:
+            raise SpecError(
+                "fleet",
+                f"unknown policy {self.policy!r}; "
+                f"available: {', '.join(ROUTER_POLICIES)}",
+            )
+        if self.n_replicas < 1:
+            raise SpecError("fleet", "n_replicas must be >= 1")
+        if self.max_replicas < self.n_replicas:
+            raise SpecError("fleet", "max_replicas must be >= n_replicas")
+        if not 0.0 < self.scale_up_at <= 1.0:
+            raise SpecError("fleet", "scale_up_at must be in (0, 1]")
+        if not 0.0 <= self.scale_down_at < self.scale_up_at:
+            raise SpecError(
+                "fleet", "scale_down_at must be in [0, scale_up_at)"
+            )
+        if self.cooldown_s < 0:
+            raise SpecError("fleet", "cooldown_s must be non-negative")
+        if self.events is not None and self.events_file is not None:
+            raise SpecError(
+                "fleet", "events and events_file are mutually exclusive"
+            )
+
+
+@dataclass
 class ObservabilitySection:
     """Tracing/metrics sinks for the run (see :mod:`repro.obs`).
 
@@ -384,6 +450,7 @@ class JobSpec:
     runtime: RuntimeSection | None = None
     federated: FederatedSection | None = None
     serving: ServingSection | None = None
+    fleet: FleetSection | None = None
     observability: ObservabilitySection | None = None
     compute: ComputeSection | None = None
 
@@ -500,6 +567,7 @@ class JobSpec:
             "runtime",
             "federated",
             "serving",
+            "fleet",
             "observability",
             "compute",
         ):
@@ -535,6 +603,7 @@ class JobSpec:
             "runtime",
             "federated",
             "serving",
+            "fleet",
             "observability",
             "compute",
         }
@@ -611,6 +680,7 @@ _SECTION_TYPES: dict[str, type] = {
     "runtime": RuntimeSection,
     "federated": FederatedSection,
     "serving": ServingSection,
+    "fleet": FleetSection,
     "observability": ObservabilitySection,
     "compute": ComputeSection,
 }

@@ -20,7 +20,8 @@ Each command prints the reproduced figure/table as a plain-text table.
 ``run`` is the unified entry point: it executes a declarative
 :class:`repro.api.JobSpec` JSON file on any registered backend
 (``sequential`` / ``pipelined`` / ``multiprocess`` / ``federated`` /
-``federated-async`` / ``serving``) and prints the unified report; the
+``federated-async`` / ``serving`` / ``cluster-serving``) and prints the
+unified report; the
 ``--array-backend`` / ``--threads`` / ``--bf16-weights`` / ``--processes``
 flags override the spec's ``compute`` section field-by-field.  ``serve`` and ``parallel``
 are legacy spec-builders kept for backward compatibility: they assemble

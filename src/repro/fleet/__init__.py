@@ -1,0 +1,57 @@
+"""repro.fleet: multi-replica, cluster-sharded early-exit serving.
+
+Scales the single :class:`~repro.serving.server.InferenceServer` into an
+N-replica fleet: each replica shards the exit cascade across the devices
+of its own :class:`~repro.parallel.cluster.Cluster` (shard map from the
+PR 3 placement optimizer), a front router load-balances arrivals with
+per-replica admission control, and a churn schedule drives autoscaling,
+failure drain/failover, and device joins on one simulated timeline.
+"""
+
+from repro.fleet.replica import (
+    DRAINING,
+    FAILED,
+    LIVE,
+    RETIRED,
+    CascadeReplica,
+    InFlightBatch,
+    RouteCache,
+)
+from repro.fleet.report import FleetReport, ReplicaSummary
+from repro.fleet.router import ROUTER_POLICIES, FleetRouter
+from repro.fleet.sharding import (
+    CascadeShardPlan,
+    build_shard_problem,
+    plan_cascade_shards,
+    segment_profiles,
+    single_device_plan,
+)
+from repro.fleet.simulator import (
+    FleetConfig,
+    FleetSimulator,
+    build_route_cache,
+    simulate_fleet,
+)
+
+__all__ = [
+    "LIVE",
+    "DRAINING",
+    "FAILED",
+    "RETIRED",
+    "CascadeReplica",
+    "InFlightBatch",
+    "RouteCache",
+    "FleetReport",
+    "ReplicaSummary",
+    "ROUTER_POLICIES",
+    "FleetRouter",
+    "CascadeShardPlan",
+    "build_shard_problem",
+    "plan_cascade_shards",
+    "segment_profiles",
+    "single_device_plan",
+    "FleetConfig",
+    "FleetSimulator",
+    "build_route_cache",
+    "simulate_fleet",
+]

@@ -1,0 +1,75 @@
+"""Fleet-front request routing (the load balancer).
+
+Three policies, all deterministic:
+
+* ``round-robin`` -- cycle the live replicas in id order, skipping full
+  queues; the stateless baseline.
+* ``least-loaded`` -- the replica owning the fewest requests (queued
+  plus in flight), ties to the lowest id; reacts to queue depth but is
+  blind to device speed.
+* ``latency-aware`` -- the replica with the earliest *predicted* finish
+  for one more request: entry-device availability plus backlog priced
+  at the shard plan's predicted per-batch seconds, refined online by
+  each replica's observed/predicted EWMA coefficient
+  (perf4sight-style).  This is the policy that notices a slowed-down
+  replica before its queue backs up, because the coefficient -- not the
+  queue -- carries the signal.
+
+Every policy falls back across the remaining live replicas when its
+first choice has a full queue; only when *no* live replica has queue
+space does the fleet reject the request (admission control).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.fleet.replica import CascadeReplica
+
+ROUTER_POLICIES = ("round-robin", "least-loaded", "latency-aware")
+
+
+class FleetRouter:
+    """Picks the replica that admits each arriving request."""
+
+    def __init__(self, policy: str = "latency-aware"):
+        if policy not in ROUTER_POLICIES:
+            raise ConfigError(
+                f"unknown router policy {policy!r}; "
+                f"available: {list(ROUTER_POLICIES)}"
+            )
+        self.policy = policy
+        self._rr_next = 0
+
+    def pick(
+        self, replicas: list[CascadeReplica], now: float
+    ) -> CascadeReplica | None:
+        """The admitting replica for a request arriving at ``now``.
+
+        ``None`` means every live replica's queue is full -- the caller
+        rejects the request.  Candidates must be the *live* replicas in
+        id order (the fleet simulator maintains that invariant).
+        """
+        if not replicas:
+            return None
+        order = self._ranked(replicas, now)
+        for replica in order:
+            if replica.accepts_requests:
+                if self.policy == "round-robin":
+                    # Advance past the chosen replica so the next pick
+                    # starts after it, full-queue skips included.
+                    ids = [r.replica_id for r in replicas]
+                    self._rr_next = ids.index(replica.replica_id) + 1
+                return replica
+        return None
+
+    def _ranked(
+        self, replicas: list[CascadeReplica], now: float
+    ) -> list[CascadeReplica]:
+        if self.policy == "round-robin":
+            start = self._rr_next % len(replicas)
+            return replicas[start:] + replicas[:start]
+        if self.policy == "least-loaded":
+            return sorted(replicas, key=lambda r: (r.load, r.replica_id))
+        return sorted(
+            replicas, key=lambda r: (r.predicted_finish_s(now), r.replica_id)
+        )

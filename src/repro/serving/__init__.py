@@ -37,6 +37,7 @@ from repro.serving.workload import (
     Request,
     WorkloadSpec,
     generate_requests,
+    iter_requests,
 )
 
 __all__ = [
@@ -54,5 +55,6 @@ __all__ = [
     "ServingReport",
     "WorkloadSpec",
     "generate_requests",
+    "iter_requests",
     "simulate_serving",
 ]

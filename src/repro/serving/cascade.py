@@ -45,6 +45,10 @@ class CascadeCostModel:
         input_hw: tuple[int, int],
     ):
         self.exit_costs: list[ExitCost] = []
+        #: Per-sample activation elements at each segment's output -- the
+        #: payload a sample carries into the next segment (the fleet
+        #: shard planner prices inter-device hops from this).
+        self.boundary_elements: list[int] = []
         shape: tuple[int, ...] = (1, in_channels, *input_hw)
         for k in range(model.num_exits):
             seg_flops, seg_kernels, shape = modules_forward_cost(
@@ -56,6 +60,10 @@ class CascadeCostModel:
             self.exit_costs.append(
                 ExitCost(seg_flops, seg_kernels, head_flops, head_kernels)
             )
+            elements = 1
+            for dim in shape[1:]:
+                elements *= int(dim)
+            self.boundary_elements.append(elements)
 
     def batch_cost(self, reach_counts: list[int]) -> tuple[int, int]:
         """(FLOPs, kernel dispatches) for a batch with the given reach.

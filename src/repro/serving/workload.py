@@ -13,11 +13,23 @@ standard cases:
 
 All randomness flows through :func:`repro.utils.rng.spawn_rng`, so a
 ``WorkloadSpec`` is a complete, reproducible description of a run.
+
+Generation is lazy: :func:`iter_requests` yields one :class:`Request` at
+a time, so million-request traces cost O(1) memory on the producer side.
+The draw order is pinned and regression-tested: one exponential per
+candidate gap, one uniform per thinning decision (drawn immediately
+after its candidate, since streaming forbids the old
+all-candidates-then-all-uniforms order), one integer per emitted
+request.  Poisson and bursty sequences are bit-identical to the
+pre-streaming implementation; numpy draws scalars and size-``n``
+batches from the same underlying stream, so per-request index draws
+match the old batched draw.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -78,16 +90,16 @@ class WorkloadSpec:
             raise ConfigError("diurnal_amplitude must be in [0, 1)")
 
 
-def _poisson_times(rng: np.random.Generator, rate: float, duration: float) -> list[float]:
-    times = []
+def _poisson_times(
+    rng: np.random.Generator, rate: float, duration: float
+) -> Iterator[float]:
     t = rng.exponential(1.0 / rate)
     while t < duration:
-        times.append(t)
+        yield t
         t += rng.exponential(1.0 / rate)
-    return times
 
 
-def _bursty_times(spec: WorkloadSpec, rng: np.random.Generator) -> list[float]:
+def _bursty_times(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[float]:
     # Two-state MMPP.  The quiet-state rate is solved so the time-weighted
     # mean over both states equals ``arrival_rate``.
     burst_rate = spec.arrival_rate * spec.burst_factor
@@ -97,7 +109,6 @@ def _bursty_times(spec: WorkloadSpec, rng: np.random.Generator) -> list[float]:
         / (1.0 - spec.burst_fraction)
     )
     quiet_len = spec.burst_len_s * (1.0 - spec.burst_fraction) / spec.burst_fraction
-    times = []
     t = 0.0
     in_burst = bool(rng.random() < spec.burst_fraction)
     while t < spec.duration_s:
@@ -106,44 +117,58 @@ def _bursty_times(spec: WorkloadSpec, rng: np.random.Generator) -> list[float]:
         dwell = rng.exponential(mean_len)
         end = min(t + dwell, spec.duration_s)
         if rate > 0:
-            times.extend(t + u for u in _poisson_times(rng, rate, end - t))
+            for u in _poisson_times(rng, rate, end - t):
+                yield t + u
         t = end
         in_burst = not in_burst
-    return times
 
 
-def _diurnal_times(spec: WorkloadSpec, rng: np.random.Generator) -> list[float]:
+def _diurnal_times(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[float]:
     # Thinning (Lewis & Shedler): generate at the peak rate, accept with
     # probability rate(t) / peak.
     peak = spec.arrival_rate * (1.0 + spec.diurnal_amplitude)
-    times = []
     for t in _poisson_times(rng, peak, spec.duration_s):
         rate_t = spec.arrival_rate * (
             1.0 + spec.diurnal_amplitude * np.sin(2.0 * np.pi * t / spec.diurnal_period_s)
         )
         if rng.random() < rate_t / peak:
-            times.append(t)
-    return times
+            yield t
+
+
+def _arrival_times(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[float]:
+    if spec.pattern == "poisson":
+        return _poisson_times(rng, spec.arrival_rate, spec.duration_s)
+    if spec.pattern == "bursty":
+        return _bursty_times(spec, rng)
+    return _diurnal_times(spec, rng)
+
+
+def iter_requests(spec: WorkloadSpec, n_samples: int) -> Iterator[Request]:
+    """Stream the request sequence described by ``spec``, one at a time.
+
+    Each request references a uniformly drawn sample index in
+    ``[0, n_samples)`` -- the serving dataset it will be scored against.
+    Sample indices come from a dedicated RNG stream, so the index
+    sequence depends only on how many requests are drawn, never on the
+    arrival pattern's internal randomness.
+    """
+    if n_samples < 1:
+        raise ConfigError("n_samples must be >= 1")
+    rng = spawn_rng(spec.seed, "serving/arrivals", spec.pattern)
+    sample_rng = spawn_rng(spec.seed, "serving/samples", spec.pattern)
+    for i, t in enumerate(_arrival_times(spec, rng)):
+        yield Request(
+            request_id=i,
+            arrival_s=float(t),
+            sample_index=int(sample_rng.integers(0, n_samples)),
+        )
 
 
 def generate_requests(spec: WorkloadSpec, n_samples: int) -> list[Request]:
     """Materialize the request stream described by ``spec``.
 
-    Each request references a uniformly drawn sample index in
-    ``[0, n_samples)`` -- the serving dataset it will be scored against.
+    Convenience wrapper over :func:`iter_requests` for workloads small
+    enough to hold in memory; fleet-scale traces should consume the
+    iterator directly.
     """
-    if n_samples < 1:
-        raise ConfigError("n_samples must be >= 1")
-    rng = spawn_rng(spec.seed, "serving/arrivals", spec.pattern)
-    if spec.pattern == "poisson":
-        times = _poisson_times(rng, spec.arrival_rate, spec.duration_s)
-    elif spec.pattern == "bursty":
-        times = _bursty_times(spec, rng)
-    else:
-        times = _diurnal_times(spec, rng)
-    sample_rng = spawn_rng(spec.seed, "serving/samples", spec.pattern)
-    indices = sample_rng.integers(0, n_samples, size=len(times))
-    return [
-        Request(request_id=i, arrival_s=float(t), sample_index=int(s))
-        for i, (t, s) in enumerate(zip(times, indices))
-    ]
+    return list(iter_requests(spec, n_samples))

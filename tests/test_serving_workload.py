@@ -12,7 +12,9 @@ from repro.serving.workload import (
     Request,
     WorkloadSpec,
     generate_requests,
+    iter_requests,
 )
+from repro.utils.rng import spawn_rng
 
 
 def _inter_arrivals(requests):
@@ -97,6 +99,95 @@ class TestGenerateRequests:
     def test_requires_samples(self):
         with pytest.raises(ConfigError):
             generate_requests(WorkloadSpec(), n_samples=0)
+        with pytest.raises(ConfigError):
+            next(iter_requests(WorkloadSpec(), n_samples=0))
+
+
+def _reference_requests(spec, n_samples):
+    """Materializing regression oracle for the lazy rewrite: build the
+    full arrival-time list per pattern, then draw all sample indices in
+    one batched call.  Poisson and bursty reproduce the pre-streaming
+    implementation draw-for-draw; diurnal follows the streaming draw
+    order (thinning uniform immediately after each candidate), which the
+    rewrite pinned because the old all-candidates-first order cannot be
+    produced without materializing O(n) candidates."""
+    rng = spawn_rng(spec.seed, "serving/arrivals", spec.pattern)
+
+    def poisson(rng, rate, duration):
+        times = []
+        t = rng.exponential(1.0 / rate)
+        while t < duration:
+            times.append(t)
+            t += rng.exponential(1.0 / rate)
+        return times
+
+    if spec.pattern == "poisson":
+        times = poisson(rng, spec.arrival_rate, spec.duration_s)
+    elif spec.pattern == "bursty":
+        burst_rate = spec.arrival_rate * spec.burst_factor
+        quiet_rate = (
+            spec.arrival_rate
+            * (1.0 - spec.burst_factor * spec.burst_fraction)
+            / (1.0 - spec.burst_fraction)
+        )
+        quiet_len = spec.burst_len_s * (1.0 - spec.burst_fraction) / spec.burst_fraction
+        times = []
+        t = 0.0
+        in_burst = bool(rng.random() < spec.burst_fraction)
+        while t < spec.duration_s:
+            mean_len = spec.burst_len_s if in_burst else quiet_len
+            rate = burst_rate if in_burst else quiet_rate
+            dwell = rng.exponential(mean_len)
+            end = min(t + dwell, spec.duration_s)
+            if rate > 0:
+                times.extend(t + u for u in poisson(rng, rate, end - t))
+            t = end
+            in_burst = not in_burst
+    else:
+        peak = spec.arrival_rate * (1.0 + spec.diurnal_amplitude)
+        times = []
+        t = rng.exponential(1.0 / peak)
+        while t < spec.duration_s:
+            rate_t = spec.arrival_rate * (
+                1.0
+                + spec.diurnal_amplitude
+                * np.sin(2.0 * np.pi * t / spec.diurnal_period_s)
+            )
+            if rng.random() < rate_t / peak:
+                times.append(t)
+            t += rng.exponential(1.0 / peak)
+    sample_rng = spawn_rng(spec.seed, "serving/samples", spec.pattern)
+    indices = sample_rng.integers(0, n_samples, size=len(times))
+    return [
+        Request(request_id=i, arrival_s=float(t), sample_index=int(s))
+        for i, (t, s) in enumerate(zip(times, indices))
+    ]
+
+
+class TestIterRequests:
+    @pytest.mark.parametrize("pattern", ARRIVAL_PATTERNS)
+    def test_lazy_sequence_matches_materializing_reference(self, pattern):
+        """Fixed-seed output must be identical to the pre-rewrite batch
+        implementation, arrival times and sample indices alike."""
+        spec = WorkloadSpec(pattern=pattern, arrival_rate=250.0, duration_s=3.0, seed=11)
+        assert list(iter_requests(spec, n_samples=37)) == _reference_requests(spec, 37)
+
+    def test_generate_requests_is_iter_requests_materialized(self):
+        spec = WorkloadSpec(pattern="bursty", arrival_rate=300.0, seed=2)
+        assert generate_requests(spec, 10) == list(iter_requests(spec, 10))
+
+    @pytest.mark.parametrize("pattern", ARRIVAL_PATTERNS)
+    def test_streams_without_materializing(self, pattern):
+        """A week-long trace (~billions of requests) must hand over its
+        first few requests instantly -- proof nothing builds O(n) lists."""
+        from itertools import islice
+
+        spec = WorkloadSpec(
+            pattern=pattern, arrival_rate=5000.0, duration_s=604800.0, seed=0
+        )
+        head = list(islice(iter_requests(spec, n_samples=100), 5))
+        assert len(head) == 5
+        assert [r.request_id for r in head] == list(range(5))
 
 
 def _req(i, t):
