@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate committed BENCH_*.json headline trajectories against git history.
+
+Each ``BENCH_*.json`` carries headline numbers -- speedup ratios and
+boolean claims -- that the repo's benchmarks keep regenerating.  This
+check asks: did any headline regress relative to the previously
+committed version of the same file?  Used by CI after regenerating a
+BENCH file in the working tree::
+
+    python examples/check_bench_trajectory.py BENCH_obs.json --floor 0.9
+
+Baseline selection: if the working-tree file differs from ``HEAD`` (the
+regenerated-in-CI case), the baseline is the ``HEAD`` version; otherwise
+it is the previous commit that touched the file.  A file with no prior
+committed version is skipped with a note -- a brand-new benchmark has no
+trajectory yet.
+
+A numeric headline fails when ``current < floor * baseline`` (default
+floor 0.9, i.e. a >10% drop); a boolean claim fails when it flips
+``true -> false``; a headline that disappears outright also fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.analyze import compare_bench_headlines, extract_bench_headlines
+
+
+def _git(root: Path, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        ["git", "-C", str(root), *args], capture_output=True, text=True
+    )
+
+
+def baseline_payload(path: Path) -> tuple[dict | None, str]:
+    """The previously committed version of ``path``, and which rev it is."""
+    top = _git(path.parent, "rev-parse", "--show-toplevel")
+    if top.returncode != 0:
+        return None, "not in a git repository"
+    root = Path(top.stdout.strip())
+    rel = path.resolve().relative_to(root).as_posix()
+    dirty = _git(root, "diff", "--quiet", "HEAD", "--", rel).returncode != 0
+    if dirty:
+        rev = "HEAD"
+    else:
+        log = _git(root, "log", "-n", "2", "--format=%H", "--", rel)
+        revs = log.stdout.split()
+        if len(revs) < 2:
+            return None, "no prior committed version"
+        rev = revs[1]
+    show = _git(root, "show", f"{rev}:{rel}")
+    if show.returncode != 0:
+        return None, f"not present at {rev}"
+    try:
+        return json.loads(show.stdout), rev[:12]
+    except json.JSONDecodeError as exc:
+        return None, f"baseline at {rev[:12]} is not JSON ({exc})"
+
+
+def check_file(path: Path, floor: float) -> list[dict]:
+    with open(path) as fh:
+        current = json.load(fh)
+    baseline, rev = baseline_payload(path)
+    if baseline is None:
+        print(f"{path}: skipped ({rev})")
+        return []
+    violations = compare_bench_headlines(
+        baseline, current, floor=floor, source=path.name
+    )
+    n = len(extract_bench_headlines(current))
+    if violations:
+        print(f"{path}: {len(violations)} regression(s) vs {rev}")
+        for v in violations:
+            print(f"  [{v['name']}] {v['reason']}")
+    else:
+        print(f"{path}: ok ({n} headline(s) hold vs {rev}, floor {floor:g}x)")
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a BENCH headline regresses vs its previous commit."
+    )
+    parser.add_argument("bench", nargs="+", help="BENCH_*.json files to check")
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.9,
+        metavar="RATIO",
+        help="minimum acceptable current/baseline ratio (default 0.9)",
+    )
+    args = parser.parse_args(argv)
+    failures = []
+    for name in args.bench:
+        failures.extend(check_file(Path(name), args.floor))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

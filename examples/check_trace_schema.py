@@ -96,10 +96,14 @@ def check_trace(path: str, require_categories: list[str]) -> None:
         elif ph == "s":
             if "id" not in event:
                 fail(path, f"flow start {i} lacks an id")
+            if event["id"] in flow_starts:
+                fail(path, f"flow id {event['id']} started twice")
             flow_starts[event["id"]] = event
         elif ph == "f":
             if event.get("bp") != "e":
                 fail(path, f"flow finish {i} lacks bp=e (enclosing binding)")
+            if event.get("id") in flow_ends:
+                fail(path, f"flow id {event['id']} finished twice")
             flow_ends[event.get("id")] = event
     if async_open:
         fail(path, f"unterminated async event id(s) {sorted(async_open)}")
@@ -109,6 +113,14 @@ def check_trace(path: str, require_categories: list[str]) -> None:
             f"unmatched flow id(s): starts {sorted(flow_starts)} "
             f"vs finishes {sorted(flow_ends)}",
         )
+    for fid, start in flow_starts.items():
+        finish = flow_ends[fid]
+        if finish["ts"] < start["ts"]:
+            fail(
+                path,
+                f"flow id {fid} finishes at {finish['ts']} before its "
+                f"start at {start['ts']} (arrows must point forward)",
+            )
     unnamed = used_tids - named_tids
     if unnamed:
         fail(path, f"tid(s) {sorted(unnamed)} have no thread_name metadata")

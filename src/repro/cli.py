@@ -264,6 +264,180 @@ def _run_run(argv: list[str]) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# analyze: trace/report analytics, diffing and SLO gates                 #
+# --------------------------------------------------------------------- #
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli analyze",
+        description=(
+            "Analyze a trace (critical path, request breakdown) or a "
+            "report/BENCH JSON (diffing, SLO gates).  Exits 1 on a named "
+            "SLO violation, BENCH regression, or --fail-on-diff mismatch."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        help=(
+            "a Chrome trace JSON / span JSONL (critical path), or a "
+            "unified report / metrics / BENCH JSON (gating + diffing)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="diff the target against this run of the same spec",
+    )
+    parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC.json",
+        help=(
+            "declarative threshold spec ({\"slo\": [{\"metric\": ..., "
+            "\"max\"|\"min\"|\"equals\": ...}]}); violations are named "
+            "and fail the command"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_out",
+        help="write the AnalysisReport (unified report schema) to PATH",
+    )
+    parser.add_argument(
+        "--fail-on-diff",
+        action="store_true",
+        help="exit non-zero when the --baseline diff is not empty",
+    )
+    parser.add_argument(
+        "--bench-baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "treat target and PATH as BENCH payloads; fail if a headline "
+            "ratio regressed below --bench-floor x its baseline value"
+        ),
+    )
+    parser.add_argument(
+        "--bench-floor",
+        type=float,
+        default=0.9,
+        metavar="RATIO",
+        help="minimum acceptable current/baseline headline ratio (default 0.9)",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=12,
+        metavar="N",
+        help="critical-path steps to print (the JSON always has all)",
+    )
+    return parser
+
+
+def _load_json(path: str):
+    import json
+
+    from repro.errors import ConfigError
+
+    with open(path) as fh:
+        try:
+            return json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{path}: not JSON ({exc})") from None
+
+
+def _sniff_target(path: str) -> str:
+    """'trace' for span streams, 'report' for any other JSON document."""
+    import json
+
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return "trace"  # multi-object stream: a span JSONL
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return "trace"
+    if isinstance(payload, dict) and {"id", "kind"} <= set(payload):
+        return "trace"  # a one-span JSONL parses as a single object
+    return "report"
+
+
+def _analyze_main(argv: list[str]) -> int:
+    from repro.errors import ReproError
+
+    try:
+        return _analyze_run(argv)
+    except ReproError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+
+
+def _analyze_run(argv: list[str]) -> int:
+    from repro.obs.analyze import (
+        SloSpec,
+        analyze_report,
+        analyze_trace,
+        compare_bench_headlines,
+        load_trace,
+    )
+
+    args = build_analyze_parser().parse_args(argv)
+    slo = SloSpec.from_json_file(args.slo) if args.slo else None
+
+    if args.bench_baseline is not None:
+        current = _load_json(args.target)
+        baseline = _load_json(args.bench_baseline)
+        violations = compare_bench_headlines(
+            baseline, current, floor=args.bench_floor, source=args.target
+        )
+        if violations:
+            print(f"bench trajectory: {len(violations)} regression(s)")
+            for v in violations:
+                print(f"  [{v['name']}] {v['reason']}")
+            return 1
+        print(
+            f"bench trajectory: ok (floor {args.bench_floor:g}x vs "
+            f"{args.bench_baseline})"
+        )
+        return 0
+
+    kind = _sniff_target(args.target)
+    if kind == "trace":
+        model = load_trace(args.target)
+        baseline = load_trace(args.baseline) if args.baseline else None
+        analysis = analyze_trace(model, baseline=baseline, slo=slo)
+        print(analysis.summary())
+    else:
+        doc = _load_json(args.target)
+        baseline = _load_json(args.baseline) if args.baseline else None
+        analysis = analyze_report(
+            doc,
+            source=args.target,
+            baseline=baseline,
+            baseline_source=args.baseline or "baseline",
+            slo=slo,
+        )
+        print(analysis.summary())
+    if args.json_out:
+        _write_report_json(args.json_out, analysis)
+    failed = not analysis.ok
+    diff = analysis.trace_diff or analysis.report_diff
+    if args.fail_on_diff and diff is not None and not diff.is_empty:
+        print("analyze: diff is not empty (--fail-on-diff)", file=sys.stderr)
+        failed = True
+    if failed and analysis.slo is not None and not analysis.slo.ok:
+        names = ", ".join(v["name"] for v in analysis.slo.violations)
+        print(f"analyze: SLO violation(s): {names}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli serve",
@@ -571,6 +745,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        return _analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(k) for k in EXPERIMENTS)
@@ -580,6 +756,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'serve'.ljust(width)}  early-exit serving simulator (serve --help)")
         print(f"{'parallel'.ljust(width)}  multi-device pipeline training (parallel --help)")
         print(f"{'bench'.ljust(width)}  kernel wall-clock benchmarks (bench --help)")
+        print(f"{'analyze'.ljust(width)}  trace/report analytics and SLO gates (analyze --help)")
         return 0
     if args.experiment == "all":
         names = list(EXPERIMENTS)

@@ -63,6 +63,30 @@ class RouteCache:
 
 
 @dataclass(frozen=True)
+class SegmentTiming:
+    """One segment's slice of a batch's walk down the chain.
+
+    ``comm_s`` is the boundary-activation hop *into* this segment,
+    ``stall_s`` the wait for the device to free up after the data was
+    ready, and ``[start_s, end_s]`` the device-exclusive service window.
+    Summed over a batch, ``comm + stall + service == completion -
+    dispatch`` exactly -- the decomposition request-scoped tracing and
+    the report's latency breakdown are built on.
+    """
+
+    segment: int
+    device: int
+    comm_s: float
+    stall_s: float
+    start_s: float
+    end_s: float
+
+    @property
+    def service_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
 class InFlightBatch:
     """A dispatched batch whose completion the fleet clock has not passed."""
 
@@ -70,6 +94,25 @@ class InFlightBatch:
     completion_s: float
     requests: list[Request]
     exits: np.ndarray
+    #: This batch's ordinal on its replica (1-based, dispatch order).
+    batch_index: int = 0
+    #: Per-segment timing detail, in chain order.
+    segments: tuple[SegmentTiming, ...] = ()
+
+    @property
+    def comm_s(self) -> float:
+        """Total boundary-hop seconds across the chain."""
+        return sum(s.comm_s for s in self.segments)
+
+    @property
+    def stall_s(self) -> float:
+        """Total device-busy wait after data arrival (queueing mid-chain)."""
+        return sum(s.stall_s for s in self.segments)
+
+    @property
+    def compute_s(self) -> float:
+        """Total device service seconds across the chain."""
+        return sum(s.service_s for s in self.segments)
 
 
 @dataclass
@@ -195,22 +238,31 @@ class CascadeReplica:
         reach = cache.reach_counts(exits)
         t = dispatch_s
         prev_device: int | None = None
+        segments: list[SegmentTiming] = []
         for k, n_reach in enumerate(reach):
             if n_reach <= 0:
                 break
             d = self.plan.placement[k]
+            comm = 0.0
             if prev_device is not None and d != prev_device:
-                t += self.cluster.charge_transfer(
+                comm = self.cluster.charge_transfer(
                     prev_device, d, self.plan.boundary_bytes[k - 1] * n_reach
                 )
+                t += comm
             flops, kernels, in_bytes = self._segment_charge(k, n_reach, len(requests))
             start = max(t, self.dev_free[d])
             service = self.cluster[d].sim.add_serving_batch(flops, in_bytes, kernels)
+            segments.append(SegmentTiming(
+                segment=k, device=d, comm_s=comm, stall_s=start - t,
+                start_s=start, end_s=start + service,
+            ))
             t = start + service
             self.dev_free[d] = t
             prev_device = d
         batch = InFlightBatch(
-            dispatch_s=dispatch_s, completion_s=t, requests=requests, exits=exits
+            dispatch_s=dispatch_s, completion_s=t, requests=requests,
+            exits=exits, batch_index=self.stats.n_batches + 1,
+            segments=tuple(segments),
         )
         self.in_flight.append(batch)
         self.stats.n_batches += 1

@@ -71,6 +71,13 @@ class FleetReport:
     #: End-to-end latency of every completed request (arrival to
     #: completion, failovers included under their original arrival).
     latencies: list[float] = field(default_factory=list)
+    #: Exact per-request latency decomposition, index-aligned with
+    #: ``latencies``: time queued (to dispatch, plus mid-chain device
+    #: stalls), segment compute, and boundary-hop comm.  Per request,
+    #: ``queue + compute + comm == latency``.
+    queue_seconds: list[float] = field(default_factory=list)
+    compute_seconds: list[float] = field(default_factory=list)
+    comm_seconds: list[float] = field(default_factory=list)
     n_completed: int = 0
     n_rejected: int = 0
     n_shed: int = 0
@@ -118,7 +125,8 @@ class FleetReport:
         return self.n_completed / self.n_offered if self.n_offered else 0.0
 
     def latency_percentile(self, q: float) -> float:
-        return percentile(self.latencies, q)
+        # NaN (rendered null in JSON) when nothing completed, e.g. a DNF.
+        return percentile(self.latencies, q, empty=float("nan"))
 
     @property
     def mean_latency_s(self) -> float:
@@ -186,7 +194,27 @@ class FleetReport:
             reg.gauge("replica_busy_seconds", replica=r.replica_id).set(r.busy_s)
         latency = reg.histogram("request_latency_seconds")
         latency.samples.extend(self.latencies)
+        reg.histogram("request_queue_seconds").samples.extend(self.queue_seconds)
+        reg.histogram("request_compute_seconds").samples.extend(
+            self.compute_seconds
+        )
+        reg.histogram("request_comm_seconds").samples.extend(self.comm_seconds)
         return reg
+
+    def latency_breakdown(self) -> dict:
+        """Fleet-wide queue/compute/comm split of completed-request time."""
+        total = sum(self.latencies)
+        parts = {
+            "queue_s": sum(self.queue_seconds),
+            "compute_s": sum(self.compute_seconds),
+            "comm_s": sum(self.comm_seconds),
+        }
+        out = {"latency_s": _num(total)}
+        for key, value in parts.items():
+            out[key] = _num(value)
+            share_key = key.replace("_s", "_share")
+            out[share_key] = _num(value / total if total > 0 else 0.0)
+        return out
 
     def to_json_dict(self) -> dict:
         out = common_json_fields(self, kind="fleet")
@@ -222,6 +250,7 @@ class FleetReport:
                 "p95_latency_s": _num(self.latency_percentile(95)),
                 "p99_latency_s": _num(self.latency_percentile(99)),
                 "mean_latency_s": _num(self.mean_latency_s),
+                "latency_breakdown": self.latency_breakdown(),
                 "exit_counts": self.exit_counts,
                 "accuracy": _num(self.accuracy),
                 "replicas": [r.to_json_dict() for r in self.replicas],
@@ -233,6 +262,16 @@ class FleetReport:
 
     def summary(self) -> str:
         return self.table()
+
+    def _breakdown_row(self) -> str:
+        split = self.latency_breakdown()
+        if not self.latencies:
+            return "n/a"
+        return (
+            f"queue {split['queue_share']:.1%} / "
+            f"compute {split['compute_share']:.1%} / "
+            f"comm {split['comm_share']:.1%}"
+        )
 
     # -- presentation --------------------------------------------------------
     def table(self) -> str:
@@ -256,6 +295,7 @@ class FleetReport:
             ("p50 latency", f"{self.latency_percentile(50) * ms:.2f} ms"),
             ("p95 latency", f"{self.latency_percentile(95) * ms:.2f} ms"),
             ("p99 latency", f"{self.latency_percentile(99) * ms:.2f} ms"),
+            ("latency split", self._breakdown_row()),
             ("accuracy", f"{self.accuracy:.3f}"),
         ]
         for r in self.replicas:

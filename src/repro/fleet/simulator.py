@@ -127,6 +127,10 @@ class FleetSimulator:
             predicted_batch_s=plan.predicted_batch_s,
         )
         self._last_scale_s = float("-inf")
+        #: Router-admit instants by request id (tracing only): the flow
+        #: source linking a request's routing decision to its lifecycle
+        #: span when the batch lands.
+        self._admit_spans: dict[int, object] = {}
 
     # -- replica lifecycle ---------------------------------------------------
     def _spawn(
@@ -323,6 +327,15 @@ class FleetSimulator:
                 )
             return
         choice.admit(request)
+        if tracer is not None:
+            # The router's decision point: one instant per admitted
+            # request, flow-linked to its lifecycle span at commit time.
+            self._admit_spans[request.request_id] = tracer.instant(
+                f"admit-req{request.request_id}", "fleet-router", "router",
+                now,
+                {"request_id": request.request_id,
+                 "replica": choice.replica_id},
+            )
         if self.fleet.autoscale:
             self._autoscale_tick(now, tracer)
 
@@ -388,26 +401,97 @@ class FleetSimulator:
         for replica in self.replicas:
             for batch in replica.commit_completions(now):
                 report.n_completed += len(batch.requests)
+                # Exact per-request decomposition: time-to-dispatch plus
+                # mid-chain device stalls are queueing, hops are comm,
+                # service is compute -- the three sum to the latency.
+                stall = batch.stall_s
+                compute = batch.compute_s
+                comm = batch.comm_s
                 for request in batch.requests:
                     report.latencies.append(
                         batch.completion_s - request.arrival_s
                     )
+                    report.queue_seconds.append(
+                        batch.dispatch_s - request.arrival_s + stall
+                    )
+                    report.compute_seconds.append(compute)
+                    report.comm_seconds.append(comm)
                 report.last_completion_s = max(
                     report.last_completion_s, batch.completion_s
                 )
                 if tracer is not None:
-                    tracer.add_span(
-                        f"r{replica.replica_id}-b{replica.stats.n_batches}",
-                        "fleet-batch",
-                        f"replica{replica.replica_id}",
-                        batch.dispatch_s,
-                        batch.completion_s,
-                        attrs={
-                            "batch_size": len(batch.requests),
-                            "max_exit": int(batch.exits.max()),
-                        },
-                        kind="async",
-                    )
+                    self._trace_batch(replica, batch, tracer)
+
+    def _trace_batch(self, replica: CascadeReplica, batch, tracer) -> None:
+        """Emit one committed batch's spans: batch, segments, requests.
+
+        Per-device segment spans land on ``r<id>-dev<d>`` tracks (device
+        occupancy is exclusive there, so they are ``complete`` spans),
+        chained by flow arrows per boundary hop; each request gets an
+        async lifecycle span on the shared ``requests`` track carrying
+        its queue/compute/comm split, flow-linked from its router-admit
+        instant.
+        """
+        rid = replica.replica_id
+        bi = batch.batch_index
+        tracer.add_span(
+            f"r{rid}-b{bi}",
+            "fleet-batch",
+            f"replica{rid}",
+            batch.dispatch_s,
+            batch.completion_s,
+            attrs={
+                "batch_size": len(batch.requests),
+                "max_exit": int(batch.exits.max()),
+            },
+            kind="async",
+        )
+        prev_span = None
+        for seg in batch.segments:
+            span = tracer.add_span(
+                f"r{rid}-b{bi}-seg{seg.segment}",
+                "fleet-segment",
+                f"r{rid}-dev{seg.device}",
+                seg.start_s,
+                seg.end_s,
+                attrs={
+                    "batch": bi,
+                    "segment": seg.segment,
+                    "comm_s": round(seg.comm_s, 9),
+                    "stall_s": round(seg.stall_s, 9),
+                },
+            )
+            if prev_span is not None:
+                tracer.add_flow(f"r{rid}-b{bi}-hop{seg.segment}", prev_span, span)
+            prev_span = span
+        stall = batch.stall_s
+        compute = batch.compute_s
+        comm = batch.comm_s
+        for i, request in enumerate(batch.requests):
+            req_span = tracer.add_span(
+                f"req{request.request_id}",
+                "fleet-request",
+                "requests",
+                request.arrival_s,
+                batch.completion_s,
+                attrs={
+                    "request_id": request.request_id,
+                    "replica": rid,
+                    "batch": bi,
+                    "queue_s": round(
+                        batch.dispatch_s - request.arrival_s + stall, 9
+                    ),
+                    "compute_s": round(compute, 9),
+                    "comm_s": round(comm, 9),
+                    "exit": int(batch.exits[i]),
+                },
+                kind="async",
+            )
+            admit = self._admit_spans.pop(request.request_id, None)
+            if admit is not None:
+                tracer.add_flow(
+                    f"route-req{request.request_id}", admit, req_span
+                )
 
     # -- wrap-up -------------------------------------------------------------
     def _finalize(self) -> FleetReport:

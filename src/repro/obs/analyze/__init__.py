@@ -1,0 +1,68 @@
+"""repro.obs.analyze -- trace/report analytics over the obs exports.
+
+The consumer PR 6 was missing: ingest Chrome-trace / JSONL span streams
+and unified Report JSONs, and answer the three operational questions --
+
+* **what bounds the makespan?** :func:`compute_critical_path` extracts
+  the binding dependency chain with per-device/per-category attribution
+  and explicit idle (bubble/queue) steps;
+* **what changed between two runs?** :func:`diff_traces` /
+  :func:`diff_reports` align runs by span identity / JSON path and emit
+  structured deltas (a self-diff is empty);
+* **did we break a promise?** :func:`evaluate_slo` checks declarative
+  named thresholds, and :func:`compare_bench_headlines` guards the
+  committed ``BENCH_*.json`` trajectory.
+
+``repro analyze`` (see :mod:`repro.cli`) is the command-line surface;
+:class:`AnalysisReport` is the unified-Report-shaped result.
+"""
+
+from repro.obs.analyze.critical_path import (
+    CriticalPath,
+    PathStep,
+    compute_critical_path,
+)
+from repro.obs.analyze.diff import (
+    ReportDiff,
+    TraceDiff,
+    diff_reports,
+    diff_traces,
+)
+from repro.obs.analyze.model import TraceModel, load_trace
+from repro.obs.analyze.report import (
+    AnalysisReport,
+    analyze_report,
+    analyze_trace,
+)
+from repro.obs.analyze.requests import RequestBreakdown, request_breakdown
+from repro.obs.analyze.slo import (
+    SloResult,
+    SloRule,
+    SloSpec,
+    compare_bench_headlines,
+    evaluate_slo,
+    extract_bench_headlines,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CriticalPath",
+    "PathStep",
+    "ReportDiff",
+    "RequestBreakdown",
+    "SloResult",
+    "SloRule",
+    "SloSpec",
+    "TraceDiff",
+    "TraceModel",
+    "analyze_report",
+    "analyze_trace",
+    "compare_bench_headlines",
+    "compute_critical_path",
+    "diff_reports",
+    "diff_traces",
+    "evaluate_slo",
+    "extract_bench_headlines",
+    "load_trace",
+    "request_breakdown",
+]

@@ -1,0 +1,273 @@
+"""Critical-path extraction over a span trace.
+
+The critical path is the dependency-ordered chain of spans that bounds
+the trace's makespan: starting from the span that finishes last, walk
+backwards, at each step jumping to the *binding* dependency -- the
+predecessor with the latest finish among
+
+* flow-arrow sources into the current span (explicit causality: comm
+  hops, migrations, request hand-offs),
+* earlier spans on the same track (device-lane occupancy: the lane was
+  busy, so the current span could not have started sooner),
+
+-- until no predecessor remains.  Wherever the binding dependency ends
+before the current span starts, the gap becomes an explicit *idle* step
+(pipeline bubble, queue wait, arrival gap), so the invariant
+
+    span_seconds + idle_seconds == makespan - origin
+
+holds for every trace: on a gap-free single-lane schedule (the
+sequential backend tiles its device timeline) the idle term is zero and
+the on-path span sum *is* the makespan.
+
+Attribution buckets the on-path seconds by category and by track, which
+is the "which device / which cost bucket bounds the run" answer, with
+idle reported alongside as its own bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.obs.analyze.model import TraceModel
+from repro.obs.trace import Span
+
+#: Timestamp slop: chrome-export round-tripping quantizes to 1e-9 s.
+EPS = 1e-8
+
+#: Step kinds.
+SPAN = "span"
+IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One chronological step of the critical path."""
+
+    kind: str  # "span" | "idle"
+    start_s: float
+    end_s: float
+    name: str
+    category: str
+    track: str
+    span_id: int | None = None
+    via: str | None = None  # how the *next* step depends on this one
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_json_dict(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "start_s": round(self.start_s, 9),
+            "end_s": round(self.end_s, 9),
+            "duration_s": round(self.duration_s, 9),
+            "name": self.name,
+            "cat": self.category,
+            "track": self.track,
+        }
+        if self.span_id is not None:
+            out["span"] = self.span_id
+        if self.via is not None:
+            out["via"] = self.via
+        return out
+
+
+@dataclass
+class CriticalPath:
+    """The binding chain plus its attribution tables."""
+
+    steps: list[PathStep] = field(default_factory=list)
+    origin_s: float = 0.0
+    makespan_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.makespan_s - self.origin_s
+
+    @property
+    def span_seconds(self) -> float:
+        return sum(s.duration_s for s in self.steps if s.kind == SPAN)
+
+    @property
+    def idle_seconds(self) -> float:
+        return sum(s.duration_s for s in self.steps if s.kind == IDLE)
+
+    @property
+    def idle_fraction(self) -> float:
+        return self.idle_seconds / self.total_s if self.total_s > 0 else 0.0
+
+    @property
+    def n_spans(self) -> int:
+        return sum(1 for s in self.steps if s.kind == SPAN)
+
+    def by_category(self) -> dict[str, float]:
+        """On-path seconds per span category; idle is its own bucket."""
+        totals: dict[str, float] = {}
+        for step in self.steps:
+            key = IDLE if step.kind == IDLE else step.category
+            totals[key] = totals.get(key, 0.0) + step.duration_s
+        return totals
+
+    def by_track(self) -> dict[str, float]:
+        """On-path busy seconds per track (idle excluded: it has no lane)."""
+        totals: dict[str, float] = {}
+        for step in self.steps:
+            if step.kind == SPAN:
+                totals[step.track] = totals.get(step.track, 0.0) + step.duration_s
+        return totals
+
+    def to_json_dict(self) -> dict:
+        return {
+            "origin_s": round(self.origin_s, 9),
+            "makespan_s": round(self.makespan_s, 9),
+            "span_seconds": round(self.span_seconds, 9),
+            "idle_seconds": round(self.idle_seconds, 9),
+            "idle_fraction": round(self.idle_fraction, 9),
+            "n_steps": len(self.steps),
+            "n_spans": self.n_spans,
+            "by_category": {
+                k: round(v, 9) for k, v in sorted(self.by_category().items())
+            },
+            "by_track": {
+                k: round(v, 9) for k, v in sorted(self.by_track().items())
+            },
+            "steps": [s.to_json_dict() for s in self.steps],
+        }
+
+    def table(self, max_steps: int = 12) -> str:
+        ms = 1e3
+        lines = [
+            "critical path",
+            "-------------",
+            f"makespan      {self.total_s * ms:.3f} ms "
+            f"(origin {self.origin_s * ms:.3f} ms)",
+            f"on-path spans {self.span_seconds * ms:.3f} ms "
+            f"across {self.n_spans} spans",
+            f"idle/wait     {self.idle_seconds * ms:.3f} ms "
+            f"({self.idle_fraction:.1%})",
+            "",
+            "by category:",
+        ]
+        for cat, seconds in sorted(
+            self.by_category().items(), key=lambda kv: -kv[1]
+        ):
+            share = seconds / self.total_s if self.total_s > 0 else 0.0
+            lines.append(f"  {cat:<20} {seconds * ms:>10.3f} ms  {share:>6.1%}")
+        lines.append("by track:")
+        for track, seconds in sorted(
+            self.by_track().items(), key=lambda kv: -kv[1]
+        ):
+            share = seconds / self.total_s if self.total_s > 0 else 0.0
+            lines.append(f"  {track:<20} {seconds * ms:>10.3f} ms  {share:>6.1%}")
+        shown = self.steps if len(self.steps) <= max_steps else self.steps[-max_steps:]
+        lines.append(
+            f"last {len(shown)} of {len(self.steps)} steps "
+            "(chronological):"
+        )
+        for step in shown:
+            label = step.name if step.kind == SPAN else "(idle)"
+            lines.append(
+                f"  [{step.start_s * ms:>10.3f} .. {step.end_s * ms:>10.3f}] ms  "
+                f"{label:<28} {step.track}"
+                + (f"  via {step.via}" if step.via else "")
+            )
+        return "\n".join(lines)
+
+
+def compute_critical_path(model: TraceModel) -> CriticalPath:
+    """Backward binding-dependency walk from the last-finishing span."""
+    timed = model.timed_spans()
+    if not timed:
+        return CriticalPath()
+    origin = model.origin_s
+    makespan = model.makespan_s
+
+    # Per-track spans ordered by end time for "latest end <= t" lookups.
+    by_track: dict[str, list[Span]] = {}
+    for span in timed:
+        by_track.setdefault(span.track, []).append(span)
+    track_ends: dict[str, list[float]] = {}
+    for track, spans in by_track.items():
+        spans.sort(key=lambda s: (s.end_s, s.span_id))
+        track_ends[track] = [s.end_s for s in spans]
+
+    terminal = max(timed, key=lambda s: (s.end_s, -s.span_id))
+    chain: list[tuple[Span, str | None]] = []  # (span, via-edge to successor)
+    current = terminal
+    via: str | None = None
+    visited: set[int] = set()
+    while True:
+        chain.append((current, via))
+        visited.add(current.span_id)
+        pred, pred_via = _binding_predecessor(
+            current, model, by_track, track_ends, visited
+        )
+        if pred is None:
+            break
+        current, via = pred, pred_via
+
+    # Chronological order; idle steps fill every binding gap.
+    steps: list[PathStep] = []
+    prev_end = origin
+    for span, via_edge in reversed(chain):
+        if span.start_s > prev_end + EPS:
+            steps.append(PathStep(
+                kind=IDLE, start_s=prev_end, end_s=span.start_s,
+                name="(idle)", category=IDLE, track=span.track,
+            ))
+        start = max(span.start_s, prev_end)  # clamp sub-eps overlaps
+        end = max(span.end_s, start)
+        steps.append(PathStep(
+            kind=SPAN, start_s=start, end_s=end, name=span.name,
+            category=span.category, track=span.track,
+            span_id=span.span_id, via=via_edge,
+        ))
+        prev_end = end
+    if makespan > prev_end + EPS:
+        # The terminal span cannot end before makespan by construction,
+        # but guard against degenerate traces anyway.
+        steps.append(PathStep(
+            kind=IDLE, start_s=prev_end, end_s=makespan,
+            name="(idle)", category=IDLE, track=terminal.track,
+        ))
+    return CriticalPath(steps=steps, origin_s=origin, makespan_s=makespan)
+
+
+def _binding_predecessor(
+    current: Span,
+    model: TraceModel,
+    by_track: dict[str, list[Span]],
+    track_ends: dict[str, list[float]],
+    visited: set[int],
+) -> tuple[Span | None, str | None]:
+    """The latest-finishing dependency of ``current``, if any.
+
+    Flow sources win ties against same-track occupancy: an explicit
+    arrow is tighter causality than "the lane was busy".
+    """
+    best: Span | None = None
+    best_via: str | None = None
+    for src_id in model.flows_into.get(current.span_id, ()):
+        src = model.by_id[src_id]
+        if src.kind == "instant" or src.span_id in visited:
+            continue
+        if src.end_s <= current.start_s + EPS and (
+            best is None or src.end_s >= best.end_s
+        ):
+            best, best_via = src, "flow"
+    spans = by_track.get(current.track, [])
+    idx = bisect_right(track_ends[current.track], current.start_s + EPS) - 1
+    while idx >= 0:
+        cand = spans[idx]
+        idx -= 1
+        if cand.span_id in visited or cand.span_id == current.span_id:
+            continue
+        if best is not None and cand.end_s < best.end_s - EPS:
+            break  # ends are sorted; nothing earlier can beat best
+        if best is None or cand.end_s > best.end_s:
+            best, best_via = cand, "track"
+        break
+    return best, best_via

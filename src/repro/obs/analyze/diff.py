@@ -1,0 +1,269 @@
+"""Run diffing: align two runs of the same spec and emit what changed.
+
+Two levels, matching the two artifact kinds ``repro run`` writes:
+
+* :func:`diff_traces` aligns spans by *identity* -- ``(track, category,
+  name, occurrence-index)`` -- so the k-th ``train`` span on ``dev1`` in
+  run A is compared with the k-th in run B.  The delta is structural
+  (spans only one run has) plus temporal (per-identity duration shifts,
+  per-category and per-track totals, makespan).
+* :func:`diff_reports` walks two unified Report JSON dicts (or any JSON
+  documents) and lists every leaf that differs, with numeric deltas.
+
+A run diffed against itself is empty by construction (byte-stable
+exports make the comparison exact): ``is_empty`` is the contract the CI
+determinism gate asserts through ``repro analyze --fail-on-diff``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.analyze.model import TraceModel
+
+#: Duration shifts smaller than this are noise, not signal (well below
+#: the 1e-9 s quantization of the exports).
+TOL_S = 1e-9
+
+
+def span_identities(model: TraceModel) -> dict[tuple, list]:
+    """Spans grouped by identity key, in recorded order."""
+    groups: dict[tuple, list] = {}
+    for span in model.timed_spans():
+        groups.setdefault((span.track, span.category, span.name), []).append(span)
+    return groups
+
+
+@dataclass
+class TraceDiff:
+    """Structured delta between two traces of the same spec."""
+
+    a_source: str
+    b_source: str
+    makespan_a_s: float = 0.0
+    makespan_b_s: float = 0.0
+    #: Identities present in exactly one run: ``[track, cat, name, count]``.
+    added: list[list] = field(default_factory=list)
+    removed: list[list] = field(default_factory=list)
+    #: Aligned identities whose total duration moved:
+    #: ``{identity, n, a_s, b_s, delta_s}``.
+    changed: list[dict] = field(default_factory=list)
+    by_category: dict[str, dict] = field(default_factory=dict)
+    by_track: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def makespan_delta_s(self) -> float:
+        return self.makespan_b_s - self.makespan_a_s
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            not self.added
+            and not self.removed
+            and not self.changed
+            and abs(self.makespan_delta_s) <= TOL_S
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "a": self.a_source,
+            "b": self.b_source,
+            "empty": self.is_empty,
+            "makespan_a_s": round(self.makespan_a_s, 9),
+            "makespan_b_s": round(self.makespan_b_s, 9),
+            "makespan_delta_s": round(self.makespan_delta_s, 9),
+            "added": self.added,
+            "removed": self.removed,
+            "changed": self.changed,
+            "by_category": self.by_category,
+            "by_track": self.by_track,
+        }
+
+    def table(self, max_rows: int = 10) -> str:
+        ms = 1e3
+        if self.is_empty:
+            return "trace diff: empty (runs are identical)"
+        lines = [
+            "trace diff",
+            "----------",
+            f"makespan  {self.makespan_a_s * ms:.3f} -> "
+            f"{self.makespan_b_s * ms:.3f} ms "
+            f"({self.makespan_delta_s * ms:+.3f} ms)",
+        ]
+        if self.added:
+            lines.append(f"added identities   ({len(self.added)}):")
+            for track, cat, name, count in self.added[:max_rows]:
+                lines.append(f"  + {track}/{cat}/{name} x{count}")
+        if self.removed:
+            lines.append(f"removed identities ({len(self.removed)}):")
+            for track, cat, name, count in self.removed[:max_rows]:
+                lines.append(f"  - {track}/{cat}/{name} x{count}")
+        if self.changed:
+            lines.append(f"shifted identities ({len(self.changed)}):")
+            ranked = sorted(
+                self.changed, key=lambda c: -abs(c["delta_s"])
+            )[:max_rows]
+            for c in ranked:
+                track, cat, name = c["identity"]
+                lines.append(
+                    f"  ~ {track}/{cat}/{name}: "
+                    f"{c['a_s'] * ms:.3f} -> {c['b_s'] * ms:.3f} ms "
+                    f"({c['delta_s'] * ms:+.3f} ms)"
+                )
+        for title, table in (("category", self.by_category),
+                             ("track", self.by_track)):
+            moved = {
+                k: v for k, v in table.items() if abs(v["delta_s"]) > TOL_S
+            }
+            if moved:
+                lines.append(f"by {title}:")
+                for key, v in sorted(
+                    moved.items(), key=lambda kv: -abs(kv[1]["delta_s"])
+                ):
+                    lines.append(
+                        f"  {key:<20} {v['a_s'] * ms:>10.3f} -> "
+                        f"{v['b_s'] * ms:>10.3f} ms "
+                        f"({v['delta_s'] * ms:+.3f} ms)"
+                    )
+        return "\n".join(lines)
+
+
+def diff_traces(a: TraceModel, b: TraceModel) -> TraceDiff:
+    """Align ``a`` and ``b`` by span identity; report every shift."""
+    diff = TraceDiff(
+        a_source=a.source, b_source=b.source,
+        makespan_a_s=a.makespan_s, makespan_b_s=b.makespan_s,
+    )
+    groups_a = span_identities(a)
+    groups_b = span_identities(b)
+    for key in sorted(set(groups_a) | set(groups_b)):
+        in_a, in_b = groups_a.get(key, []), groups_b.get(key, [])
+        if not in_a:
+            diff.added.append([*key, len(in_b)])
+            continue
+        if not in_b:
+            diff.removed.append([*key, len(in_a)])
+            continue
+        a_s = sum(s.duration_s for s in in_a)
+        b_s = sum(s.duration_s for s in in_b)
+        # Chrome/JSONL exports quantize endpoints to 1e-9 s, so a group's
+        # duration sum carries up to one quantum of noise per span: scale
+        # the tolerance with the group instead of flagging round-tripped
+        # traces as changed.
+        tol = TOL_S * max(1, min(len(in_a), len(in_b)))
+        if len(in_a) != len(in_b) or abs(b_s - a_s) > tol:
+            diff.changed.append({
+                "identity": list(key),
+                "n_a": len(in_a),
+                "n_b": len(in_b),
+                "a_s": round(a_s, 9),
+                "b_s": round(b_s, 9),
+                "delta_s": round(b_s - a_s, 9),
+            })
+    for name, totals_a, totals_b in (
+        ("by_category", a.seconds_by_category(), b.seconds_by_category()),
+        ("by_track", a.seconds_by_track(), b.seconds_by_track()),
+    ):
+        table = getattr(diff, name)
+        for key in sorted(set(totals_a) | set(totals_b)):
+            va, vb = totals_a.get(key, 0.0), totals_b.get(key, 0.0)
+            table[key] = {
+                "a_s": round(va, 9),
+                "b_s": round(vb, 9),
+                "delta_s": round(vb - va, 9),
+            }
+    return diff
+
+
+@dataclass
+class ReportDiff:
+    """Leaf-wise delta between two (report) JSON documents."""
+
+    a_source: str
+    b_source: str
+    #: ``{path, a, b[, delta]}`` -- delta present for numeric leaves.
+    entries: list[dict] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def to_json_dict(self) -> dict:
+        return {
+            "a": self.a_source,
+            "b": self.b_source,
+            "empty": self.is_empty,
+            "n_differences": len(self.entries),
+            "entries": self.entries,
+        }
+
+    def table(self, max_rows: int = 25) -> str:
+        if self.is_empty:
+            return "report diff: empty (reports are identical)"
+        lines = ["report diff", "-----------"]
+        ranked = sorted(
+            self.entries,
+            key=lambda e: -abs(e.get("delta", 0.0) or 0.0),
+        )[:max_rows]
+        for e in ranked:
+            if "delta" in e:
+                lines.append(
+                    f"  {e['path']}: {e['a']} -> {e['b']} ({e['delta']:+g})"
+                )
+            else:
+                lines.append(f"  {e['path']}: {e['a']!r} -> {e['b']!r}")
+        if len(self.entries) > len(ranked):
+            lines.append(f"  ... and {len(self.entries) - len(ranked)} more")
+        return "\n".join(lines)
+
+
+def diff_reports(
+    a: dict, b: dict, a_source: str = "a", b_source: str = "b"
+) -> ReportDiff:
+    """Every differing leaf between two JSON documents, with deltas."""
+    diff = ReportDiff(a_source=a_source, b_source=b_source)
+    _walk(a, b, "", diff.entries)
+    return diff
+
+
+def _walk(a, b, path: str, out: list[dict]) -> None:
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                out.append({"path": sub, "a": None, "b": _leaf(b[key])})
+            elif key not in b:
+                out.append({"path": sub, "a": _leaf(a[key]), "b": None})
+            else:
+                _walk(a[key], b[key], sub, out)
+        return
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            out.append({
+                "path": f"{path}.length" if path else "length",
+                "a": len(a), "b": len(b), "delta": len(b) - len(a),
+            })
+        for i, (va, vb) in enumerate(zip(a, b)):
+            _walk(va, vb, f"{path}[{i}]", out)
+        return
+    if _is_num(a) and _is_num(b):
+        if float(a) != float(b):
+            out.append({
+                "path": path, "a": a, "b": b, "delta": float(b) - float(a),
+            })
+        return
+    if a != b:
+        out.append({"path": path, "a": _leaf(a), "b": _leaf(b)})
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def _leaf(x):
+    """Containers summarize to a type tag so entries stay small."""
+    if isinstance(x, dict):
+        return f"<object:{len(x)} keys>"
+    if isinstance(x, list):
+        return f"<array:{len(x)}>"
+    return x

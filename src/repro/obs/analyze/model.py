@@ -1,0 +1,214 @@
+"""Normalized trace model behind every analysis.
+
+A :class:`TraceModel` is the one shape the analyzers consume: the same
+:class:`~repro.obs.trace.Span` records a live :class:`~repro.obs.trace.
+Tracer` holds, plus the flow-arrow list, regardless of where they came
+from.  Three sources produce it:
+
+* :meth:`TraceModel.from_tracer` -- zero-copy view of a live tracer;
+* :meth:`TraceModel.from_chrome` -- re-imported Chrome trace-event JSON
+  (the ``write_chrome`` export embeds span ids as the non-standard
+  ``sid`` key, so the flow graph survives the round trip);
+* :meth:`TraceModel.from_jsonl` -- the ``write_jsonl`` span log (span
+  objects followed by flow objects).
+
+:func:`load_trace` sniffs the on-disk format and dispatches.
+
+Stdlib-only, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.obs.trace import Span, Tracer
+
+
+@dataclass
+class TraceModel:
+    """Spans + flows, indexed for analysis."""
+
+    spans: list[Span] = field(default_factory=list)
+    flows: list[dict] = field(default_factory=list)
+    source: str = "<memory>"
+
+    def __post_init__(self) -> None:
+        self.by_id: dict[int, Span] = {s.span_id: s for s in self.spans}
+        #: Flow sources feeding each destination span id.
+        self.flows_into: dict[int, list[int]] = {}
+        for flow in self.flows:
+            src, dst = flow.get("src"), flow.get("dst")
+            if src in self.by_id and dst in self.by_id:
+                self.flows_into.setdefault(dst, []).append(src)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- derived views -------------------------------------------------------
+    def timed_spans(self) -> list[Span]:
+        """Spans with extent (``complete`` and ``async``; instants are points)."""
+        return [s for s in self.spans if s.kind != "instant"]
+
+    def tracks(self) -> list[str]:
+        seen: list[str] = []
+        for span in self.spans:
+            if span.track not in seen:
+                seen.append(span.track)
+        return seen
+
+    def categories(self) -> set[str]:
+        return {span.category for span in self.spans}
+
+    @property
+    def origin_s(self) -> float:
+        """Earliest span start (the timeline's time zero)."""
+        timed = self.timed_spans()
+        return min((s.start_s for s in timed), default=0.0)
+
+    @property
+    def makespan_s(self) -> float:
+        """Latest span end -- what the critical path must account for."""
+        timed = self.timed_spans()
+        return max((s.end_s for s in timed), default=0.0)
+
+    def seconds_by_category(self) -> dict[str, float]:
+        """Total span-seconds per category (all spans, not just the path)."""
+        totals: dict[str, float] = {}
+        for span in self.timed_spans():
+            totals[span.category] = totals.get(span.category, 0.0) + span.duration_s
+        return totals
+
+    def seconds_by_track(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for span in self.timed_spans():
+            totals[span.track] = totals.get(span.track, 0.0) + span.duration_s
+        return totals
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_tracer(cls, tracer: Tracer, source: str = "<tracer>") -> "TraceModel":
+        return cls(spans=list(tracer.spans), flows=list(tracer.flows), source=source)
+
+    @classmethod
+    def from_chrome(cls, payload: dict, source: str = "<chrome>") -> "TraceModel":
+        """Rebuild the span/flow model from Chrome trace-event JSON."""
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            raise ConfigError(f"{source}: not Chrome trace JSON (no traceEvents)")
+        track_of_tid: dict[int, str] = {}
+        for event in events:
+            if event.get("ph") == "M" and event.get("name") == "thread_name":
+                track_of_tid[event["tid"]] = event["args"]["name"]
+        spans: list[Span] = []
+        flows: list[dict] = []
+        async_open: dict[int, Span] = {}
+        synthetic_id = -1  # exports without "sid" still get unique ids
+        for event in events:
+            ph = event.get("ph")
+            if ph not in ("X", "i", "b", "e", "s", "f"):
+                continue
+            track = track_of_tid.get(event.get("tid"), f"tid{event.get('tid')}")
+            start = _s(event.get("ts", 0.0))
+            attrs = dict(event.get("args") or {}) or None
+            sid = event.get("sid")
+            if sid is None and ph in ("X", "i", "b"):
+                sid, synthetic_id = synthetic_id, synthetic_id - 1
+            if ph == "X":
+                spans.append(Span(
+                    span_id=sid, name=event["name"], category=event["cat"],
+                    track=track, start_s=start,
+                    end_s=start + _s(event.get("dur", 0.0)), attrs=attrs,
+                ))
+            elif ph == "i":
+                spans.append(Span(
+                    span_id=sid, name=event["name"], category=event["cat"],
+                    track=track, start_s=start, end_s=start, attrs=attrs,
+                    kind="instant",
+                ))
+            elif ph == "b":
+                span = Span(
+                    span_id=sid, name=event["name"], category=event["cat"],
+                    track=track, start_s=start, end_s=start, attrs=attrs,
+                    kind="async",
+                )
+                async_open[event["id"]] = span
+                spans.append(span)
+            elif ph == "e":
+                begin = async_open.pop(event.get("id"), None)
+                if begin is None:
+                    raise ConfigError(
+                        f"{source}: async end id={event.get('id')} has no begin"
+                    )
+                begin.end_s = start
+            elif ph == "s":
+                flows.append({
+                    "flow_id": event.get("id"), "name": event.get("name"),
+                    "src": (event.get("args") or {}).get("src_span"),
+                    "dst": None,
+                })
+            elif ph == "f":
+                for flow in flows:
+                    if flow["flow_id"] == event.get("id") and flow["dst"] is None:
+                        flow["dst"] = (event.get("args") or {}).get("dst_span")
+                        break
+        if async_open:
+            raise ConfigError(
+                f"{source}: unterminated async ids {sorted(async_open)}"
+            )
+        return cls(spans=spans, flows=flows, source=source)
+
+    @classmethod
+    def from_jsonl(cls, lines: list[str], source: str = "<jsonl>") -> "TraceModel":
+        """Rebuild the model from a ``write_jsonl`` span log."""
+        spans: list[Span] = []
+        flows: list[dict] = []
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(f"{source}:{i + 1}: not JSON ({exc})") from None
+            if "flow_id" in obj:
+                flows.append(obj)
+                continue
+            if "id" not in obj or "kind" not in obj:
+                raise ConfigError(f"{source}:{i + 1}: neither a span nor a flow")
+            spans.append(Span(
+                span_id=obj["id"], name=obj["name"], category=obj["cat"],
+                track=obj["track"], start_s=obj["start_s"], end_s=obj["end_s"],
+                attrs=obj.get("attrs"), parent_id=obj.get("parent"),
+                kind=obj["kind"],
+            ))
+        return cls(spans=spans, flows=flows, source=source)
+
+
+def load_trace(path: str) -> TraceModel:
+    """Load a trace file, sniffing Chrome JSON vs JSONL span-log form."""
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict) and "traceEvents" in payload:
+            return TraceModel.from_chrome(payload, source=path)
+        if payload is None or (
+            isinstance(payload, dict) and {"id", "kind"} <= set(payload)
+        ):
+            # One-object-per-line span log (a single-span log parses whole).
+            return TraceModel.from_jsonl(text.splitlines(), source=path)
+    raise ConfigError(
+        f"{path}: not a repro trace (expected Chrome trace-event JSON or a "
+        "span JSONL log)"
+    )
+
+
+def _s(us: float) -> float:
+    """Chrome-export microseconds back to seconds."""
+    return us / 1e6

@@ -68,6 +68,42 @@ MACRO_SPEC = {
     "budgets": {"memory_mb": 16, "epochs": 1},
 }
 
+#: The cluster-serving payload (examples/specs/fleet.json shape, shorter
+#: stream) extending the zero-when-disabled gate to the fleet backend:
+#: its instrumentation points (router admits, per-segment spans, request
+#: lifecycles) sit behind the same single `is not None` guard.
+FLEET_MACRO_SPEC = {
+    "backend": "cluster-serving",
+    "platform": "agx_orin",
+    "model": MACRO_SPEC["model"],
+    "data": {
+        "dataset": "cifar10",
+        "num_classes": 4,
+        "image_hw": [16, 16],
+        "scale": 0.01,
+        "noise_std": 0.4,
+        "seed": 7,
+    },
+    "neuroflux": {"batch_limit": 64, "seed": 0},
+    "budgets": {"memory_mb": 16, "epochs": 1},
+    "cluster": {
+        "devices": ["nano", "agx-orin"],
+        "placement": "optimized",
+        "queue_capacity": 2,
+    },
+    "serving": {
+        "pattern": "poisson",
+        "arrival_rate": 300.0,
+        "duration_s": 0.3,
+        "mode": "cascade",
+        "threshold": 0.5,
+        "batch_cap": 16,
+        "max_wait_ms": 4.0,
+        "queue_depth": 128,
+    },
+    "fleet": {"n_replicas": 2, "policy": "latency-aware"},
+}
+
 #: Every ExecutionSimulator charge method that carries a tracer guard.
 CHARGE_METHODS = (
     "add_training_step",
@@ -181,12 +217,13 @@ def count_guard_hits(spec_payload: dict) -> int:
     return counts["n"]
 
 
-def bench_macro(reps: int) -> dict:
-    """Time one full sequential quick job, untraced vs traced (ms/run)."""
+def bench_macro(reps: int, spec_payload: dict | None = None) -> dict:
+    """Time one full job from a spec, untraced vs traced (ms/run)."""
     from repro.api import JobSpec, run
     from repro.obs.callbacks import TracingCallback
 
-    spec = JobSpec.from_dict(MACRO_SPEC)
+    spec_payload = spec_payload if spec_payload is not None else MACRO_SPEC
+    spec = JobSpec.from_dict(spec_payload)
     best = _interleaved_best_of(
         {
             "untraced": lambda: run(spec),
@@ -196,12 +233,54 @@ def bench_macro(reps: int) -> dict:
     )
     return {
         "reps": reps,
-        "guard_hits_per_run": count_guard_hits(MACRO_SPEC),
+        "backend": spec_payload["backend"],
+        "guard_hits_per_run": count_guard_hits(spec_payload),
         "untraced_ms": round(1e3 * best["untraced"], 3),
         "traced_ms": round(1e3 * best["traced"], 3),
         "enabled_overhead_pct": round(
             100 * (best["traced"] / best["untraced"] - 1), 3
         ),
+    }
+
+
+def bench_analysis(reps: int) -> dict:
+    """Time the ``repro analyze`` passes over one traced fleet run.
+
+    Analysis is an offline tool, but CI replays it after every traced
+    run, so its cost rides the same report: critical path, per-request
+    decomposition, a self-diff, and the full :func:`analyze_trace` pass
+    (all three plus the SLO-ready report assembly).
+    """
+    from repro.api import JobSpec, run
+    from repro.obs.analyze import (
+        TraceModel,
+        analyze_trace,
+        compute_critical_path,
+        diff_traces,
+        request_breakdown,
+    )
+    from repro.obs.callbacks import TracingCallback
+
+    callback = TracingCallback()
+    run(JobSpec.from_dict(FLEET_MACRO_SPEC), callbacks=callback)
+    model = TraceModel.from_tracer(callback.tracer)
+    best = _interleaved_best_of(
+        {
+            "critical_path": lambda: compute_critical_path(model),
+            "request_breakdown": lambda: request_breakdown(model),
+            "self_diff": lambda: diff_traces(model, model),
+            "full_pass": lambda: analyze_trace(model, baseline=model),
+        },
+        reps,
+    )
+    return {
+        "reps": reps,
+        "n_spans": len(model.spans),
+        "n_flows": len(model.flows),
+        "critical_path_ms": round(1e3 * best["critical_path"], 3),
+        "request_breakdown_ms": round(1e3 * best["request_breakdown"], 3),
+        "self_diff_ms": round(1e3 * best["self_diff"], 3),
+        "full_pass_ms": round(1e3 * best["full_pass"], 3),
     }
 
 
@@ -224,13 +303,24 @@ def run_suite(quick: bool = False) -> dict:
         calls=20_000 if quick else 100_000, reps=3 if quick else 7
     )
     macro = bench_macro(reps=5 if quick else 9)
+    fleet_macro = bench_macro(
+        reps=3 if quick else 5, spec_payload=FLEET_MACRO_SPEC
+    )
     disabled = project_disabled_overhead(micro, macro)
+    fleet_disabled = project_disabled_overhead(micro, fleet_macro)
+    analysis = bench_analysis(reps=3 if quick else 5)
     claims = {
         "disabled_is_free": (
             disabled["projected_overhead_pct"] < DISABLED_LIMIT_PCT
         ),
         "enabled_run_under_10_pct": (
             macro["enabled_overhead_pct"] < ENABLED_MACRO_LIMIT_PCT
+        ),
+        "fleet_disabled_is_free": (
+            fleet_disabled["projected_overhead_pct"] < DISABLED_LIMIT_PCT
+        ),
+        "fleet_enabled_under_10_pct": (
+            fleet_macro["enabled_overhead_pct"] < ENABLED_MACRO_LIMIT_PCT
         ),
     }
     return {
@@ -248,7 +338,10 @@ def run_suite(quick: bool = False) -> dict:
         },
         "micro_add_training_step": micro,
         "macro_sequential_run": macro,
+        "macro_fleet_run": fleet_macro,
         "disabled_projection": disabled,
+        "disabled_projection_fleet": fleet_disabled,
+        "analysis_pass": analysis,
         "claims": claims,
     }
 

@@ -22,13 +22,25 @@ import math
 from dataclasses import dataclass, field
 
 
-def percentile(values: list[float], q: float) -> float:
+#: Sentinel: ``percentile`` raises on empty samples unless a default is given.
+_RAISE = object()
+
+
+def percentile(values: list[float], q: float, *, empty=_RAISE) -> float:
     """The ``q``-th percentile by linear interpolation (numpy-compatible).
 
-    Returns NaN for an empty sample.  ``q`` is clamped to [0, 100].
+    An empty sample has no percentiles: the call raises a ``ValueError``
+    unless ``empty=`` supplies an explicit fallback (callers that render
+    optional latency tables pass ``float("nan")`` and let the JSON layer
+    map it to ``null``).  ``q`` is clamped to [0, 100].
     """
     if not values:
-        return float("nan")
+        if empty is _RAISE:
+            raise ValueError(
+                f"cannot take the p{q:g} of an empty sample; "
+                "pass empty=<fallback> to tolerate it"
+            )
+        return empty
     data = sorted(values)
     q = min(100.0, max(0.0, q))
     rank = q / 100.0 * (len(data) - 1)
@@ -90,6 +102,11 @@ class Histogram:
         return self.total / self.count if self.count else float("nan")
 
     def quantile(self, q: float) -> float:
+        """``q``-th percentile of the samples; ValueError when empty."""
+        if not self.samples:
+            raise ValueError(
+                f"histogram has no samples; p{q:g} is undefined"
+            )
         return percentile(self.samples, q)
 
     def snapshot(self) -> dict:
@@ -98,12 +115,12 @@ class Histogram:
             "type": "histogram",
             "count": self.count,
             "sum": _num(self.total),
-            "mean": _num(self.mean),
+            "mean": _num(self.mean) if not empty else None,
             "min": _num(min(self.samples)) if not empty else None,
             "max": _num(max(self.samples)) if not empty else None,
-            "p50": _num(self.quantile(50)),
-            "p95": _num(self.quantile(95)),
-            "p99": _num(self.quantile(99)),
+            "p50": _num(self.quantile(50)) if not empty else None,
+            "p95": _num(self.quantile(95)) if not empty else None,
+            "p99": _num(self.quantile(99)) if not empty else None,
         }
 
 

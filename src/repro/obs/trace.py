@@ -199,6 +199,10 @@ class Tracer:
                 "pid": 0,
                 "tid": tids[span.track],
                 "ts": _us(span.start_s),
+                # "sid" is a non-standard passthrough (Perfetto ignores
+                # unknown keys): it preserves the span id so analysis
+                # tooling can rebuild the flow graph from the export.
+                "sid": span.span_id,
                 "args": dict(span.attrs) if span.attrs else {},
             }
             if span.kind == "instant":
@@ -244,10 +248,18 @@ class Tracer:
             fh.write("\n")
 
     def write_jsonl(self, path: str) -> None:
-        """Write one JSON object per span (compact machine-readable log)."""
+        """Write one JSON object per span (compact machine-readable log).
+
+        Flow arrows follow the spans, one object per flow, distinguished
+        by their ``flow_id`` key -- the JSONL form carries the same graph
+        as the Chrome export, so ``repro analyze`` accepts either.
+        """
         with open(path, "w") as fh:
             for span in self.spans:
                 fh.write(json.dumps(span.to_json_dict(), sort_keys=True))
+                fh.write("\n")
+            for flow in self.flows:
+                fh.write(json.dumps(flow, sort_keys=True))
                 fh.write("\n")
 
 

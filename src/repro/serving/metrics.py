@@ -83,7 +83,9 @@ class ServingReport:
     def latency_percentile(self, q: float) -> float:
         # One percentile implementation repo-wide (repro.obs.metrics);
         # numerically identical to numpy's default linear interpolation.
-        return percentile(self._latencies(), q)
+        # A run that completed nothing has no percentiles: NaN renders as
+        # null in JSON rather than raising mid-report.
+        return percentile(self._latencies(), q, empty=float("nan"))
 
     @property
     def mean_latency_s(self) -> float:

@@ -173,6 +173,12 @@ class InferenceServer:
                         rec.arrival_s, rec.completion_s,
                         attrs={
                             "queue_delay_s": round(rec.queue_delay_s, 9),
+                            # Latency minus queueing: the in-batch service
+                            # share, so analyzers can split queue/compute
+                            # without re-deriving the batch schedule.
+                            "service_s": round(
+                                rec.latency_s - rec.queue_delay_s, 9
+                            ),
                             "exit": rec.exit_index,
                             "batch": n_batches,
                         },

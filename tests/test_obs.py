@@ -44,7 +44,19 @@ class TestPercentile:
 
     def test_single_value_and_empty(self):
         assert percentile([4.2], 99) == 4.2
-        assert math.isnan(percentile([], 50))
+        with pytest.raises(ValueError, match="empty sample"):
+            percentile([], 50)
+        assert math.isnan(percentile([], 50, empty=float("nan")))
+        assert percentile([], 50, empty=None) is None
+
+    def test_empty_histogram_guards(self):
+        h = Histogram()
+        with pytest.raises(ValueError, match="no samples"):
+            h.quantile(99)
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] is None
+        assert snap["p50"] is None and snap["p99"] is None
 
     def test_clamps_out_of_range_q(self):
         assert percentile([1.0, 2.0], -5) == 1.0
@@ -244,11 +256,13 @@ class TestChromeExport:
         assert p1.read_bytes() == p2.read_bytes()
         json.loads(p1.read_text())
 
-    def test_write_jsonl_one_object_per_span(self, tmp_path):
+    def test_write_jsonl_one_object_per_span_plus_flows(self, tmp_path):
         t = self._tracer()
         path = tmp_path / "spans.jsonl"
         t.write_jsonl(str(path))
         lines = path.read_text().splitlines()
-        assert len(lines) == len(t.spans)
+        assert len(lines) == len(t.spans) + len(t.flows)
         first = json.loads(lines[0])
         assert first["name"] == "step" and first["cat"] == "train"
+        last = json.loads(lines[-1])
+        assert "flow_id" in last and {"src", "dst"} <= set(last)
