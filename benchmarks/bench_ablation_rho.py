@@ -19,3 +19,30 @@ def test_rho_sweep(benchmark):
     # the sweep's best (40% was chosen as the best trade-off).
     default = hours[rhos.index(0.4)]
     assert default <= min(hours) * 1.25
+
+
+def test_rho_sweep_spec_matches_legacy_script(benchmark, tmp_path):
+    """``benchmarks/sweeps/ablation_rho.json`` regenerates the rho sweep:
+    hours and block structure per rho match ``run_rho_sweep`` exactly."""
+    import os
+
+    from repro.sweep import ResultsStore, SweepSpec, run_sweep
+
+    spec_path = os.path.join(os.path.dirname(__file__), "sweeps",
+                             "ablation_rho.json")
+    sweep = SweepSpec.from_json_file(spec_path)
+    store_path = str(tmp_path / "rho.sweep")
+    summary = benchmark.pedantic(
+        run_sweep, args=(sweep, store_path), kwargs=dict(workers=4),
+        rounds=1, iterations=1,
+    )
+    assert summary.failed == 0 and summary.executed == 7
+
+    legacy = ablations.run_rho_sweep()
+    rows = {round(r[0], 6): r for r in legacy.rows}
+    for record in ResultsStore.open(store_path).records():
+        ev = record["report"]["evalsim"]
+        row = rows[round(ev["rho"], 6)]
+        assert ev["n_blocks"] == row[1]
+        assert abs(ev["nf_hours"] - row[2]) < 1e-6
+        assert ev["min_batch"] == row[3] and ev["max_batch"] == row[4]

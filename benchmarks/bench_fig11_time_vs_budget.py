@@ -66,3 +66,40 @@ def test_fig11_resnet18(benchmark):
     )
     emit(result)
     _check_shape(result)
+
+
+def test_fig11_sweep_spec_matches_legacy_script(benchmark, tmp_path):
+    """The committed sweep spec regenerates the legacy script's numbers.
+
+    ``benchmarks/sweeps/fig11_time_vs_budget.json`` drives the same
+    closed-form simulation through the declarative sweep engine (evalsim
+    backend, process-pool driver); every (model, dataset, budget) cell
+    must agree with ``fig11.run`` to report precision, infeasible cells
+    included.
+    """
+    import math
+    import os
+
+    from repro.sweep import ResultsStore, SweepSpec, run_sweep
+
+    spec_path = os.path.join(os.path.dirname(__file__), "sweeps",
+                             "fig11_time_vs_budget.json")
+    sweep = SweepSpec.from_json_file(spec_path)
+    store_path = str(tmp_path / "fig11.sweep")
+    summary = benchmark.pedantic(
+        run_sweep, args=(sweep, store_path), kwargs=dict(workers=4),
+        rounds=1, iterations=1,
+    )
+    assert summary.failed == 0 and summary.executed == 45
+
+    legacy = fig11.run()
+    rows = {(r[0], r[1], r[2]): r for r in legacy.rows}
+    for record in ResultsStore.open(store_path).records():
+        ev = record["report"]["evalsim"]
+        row = rows[(ev["model"], ev["dataset"], int(ev["budget_mb"]))]
+        for got, want in ((ev["bp_hours"], row[3]), (ev["ll_hours"], row[4]),
+                          (ev["nf_hours"], row[5])):
+            if math.isnan(want):
+                assert got is None  # OOM cell -> no data point, both ways
+            else:
+                assert got is not None and abs(got - want) < 1e-6

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Assert a sweep results store is well-formed and internally consistent.
+
+Used by CI after ``repro sweep run``::
+
+    python examples/check_sweep_store.py /tmp/budget.sweep
+
+Checks the manifest/journal pair the sweep driver promises:
+
+* the manifest carries the store schema, the originating sweep spec, and
+  every planned run with a normalized JobSpec;
+* every journal record is complete, newline-terminated JSON whose
+  ``run_id``/``index``/``overrides`` match the manifest's planned run;
+* records appear in strict grid-index order (the byte-identity
+  invariant) and no run is journaled twice;
+* every ``done`` record embeds a unified report with the full Report
+  schema key set; every ``failed`` record carries an error string.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+try:
+    from repro.api import REPORT_SCHEMA_KEYS as REQUIRED_KEYS
+except ImportError:  # standalone use without PYTHONPATH=src
+    REQUIRED_KEYS = frozenset(
+        {"schema", "kind", "wall_clock_s", "peak_memory_bytes", "ledger", "metrics"}
+    )
+
+
+def check(path: str) -> None:
+    with open(os.path.join(path, "MANIFEST.json")) as fh:
+        manifest = json.load(fh)
+    if manifest.get("schema") != 1:
+        raise AssertionError(f"{path}: unsupported store schema {manifest.get('schema')}")
+    for key in ("sweep", "axes", "runs"):
+        if key not in manifest:
+            raise AssertionError(f"{path}: manifest missing {key!r}")
+    planned = {run["run_id"]: run for run in manifest["runs"]}
+    if not planned:
+        raise AssertionError(f"{path}: manifest plans zero runs")
+    for run in manifest["runs"]:
+        for key in ("index", "run_id", "overrides", "spec"):
+            if key not in run:
+                raise AssertionError(f"{path}: planned run missing {key!r}")
+
+    with open(os.path.join(path, "journal.jsonl"), "rb") as fh:
+        data = fh.read()
+    if data and not data.endswith(b"\n"):
+        raise AssertionError(f"{path}: journal has a torn (unterminated) record")
+    seen: list[int] = []
+    n_done = n_failed = 0
+    for lineno, line in enumerate(data.splitlines(), start=1):
+        record = json.loads(line)
+        run_id = record.get("run_id")
+        plan = planned.get(run_id)
+        if plan is None:
+            raise AssertionError(
+                f"{path}: journal line {lineno} names unplanned run {run_id!r}"
+            )
+        if record.get("index") != plan["index"]:
+            raise AssertionError(f"{path}: journal line {lineno} index mismatch")
+        if record.get("overrides") != plan["overrides"]:
+            raise AssertionError(f"{path}: journal line {lineno} overrides mismatch")
+        if record["index"] in seen:
+            raise AssertionError(f"{path}: run {run_id!r} journaled twice")
+        if seen and record["index"] <= seen[-1]:
+            raise AssertionError(
+                f"{path}: journal out of index order at line {lineno} "
+                f"({seen[-1]} then {record['index']})"
+            )
+        seen.append(record["index"])
+        status = record.get("status")
+        if status == "done":
+            n_done += 1
+            report = record.get("report")
+            if not isinstance(report, dict):
+                raise AssertionError(
+                    f"{path}: done record {run_id!r} has no report"
+                )
+            missing = REQUIRED_KEYS - set(report)
+            if missing:
+                raise AssertionError(
+                    f"{path}: report of {run_id!r} missing key(s) {sorted(missing)}"
+                )
+        elif status == "failed":
+            n_failed += 1
+            if not record.get("error"):
+                raise AssertionError(
+                    f"{path}: failed record {run_id!r} has no error string"
+                )
+        else:
+            raise AssertionError(
+                f"{path}: journal line {lineno} has bad status {status!r}"
+            )
+    print(
+        f"{path}: ok ({len(planned)} planned, {n_done} done, "
+        f"{n_failed} failed, journal in index order)"
+    )
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_sweep_store.py STORE_DIR [...]", file=sys.stderr)
+        return 2
+    for path in argv:
+        check(path)
+    print(f"{len(argv)} store(s) are well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

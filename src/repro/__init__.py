@@ -31,6 +31,9 @@ Subpackages:
 * :mod:`repro.api` -- unified job API: declarative :class:`JobSpec`,
   backend registry behind one ``run(spec)`` entry point, unified
   callback and report protocols (``repro run <spec.json>`` on the CLI).
+* :mod:`repro.sweep` -- declarative experiment engine: grid sweeps over
+  JobSpecs with a parallel crash-resumable driver and a queryable
+  results store (``repro sweep`` on the CLI).
 """
 
 from repro.core import NeuroFlux, NeuroFluxConfig, NeuroFluxReport

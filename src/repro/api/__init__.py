@@ -60,6 +60,7 @@ _EXPORTS = {
     "ObservabilitySection": "repro.api.spec",
     "RuntimeSection": "repro.api.spec",
     "ServingSection": "repro.api.spec",
+    "overlay_spec_dict": "repro.api.spec",
     # registry + entry point
     "Backend": "repro.api.registry",
     "JobContext": "repro.api.registry",

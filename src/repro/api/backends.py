@@ -202,6 +202,68 @@ class MultiprocessBackend(Backend):
 
 
 # --------------------------------------------------------------------- #
+# closed-form simulation backend                                        #
+# --------------------------------------------------------------------- #
+@register_backend("evalsim")
+class EvalSimBackend(Backend):
+    """Closed-form paper-scale training-time simulation (the fig11 engine).
+
+    Replays BP / classic-LL / NeuroFlux accounting for one (model,
+    dataset, platform, budget) cell without running any arithmetic --
+    exactly what ``experiments/fig11`` and the rho ablation do -- so the
+    paper's grids become ``repro sweep`` specs over this backend.  The
+    model is built against the *dataset's* class count and image size
+    (paper-scale simulation only makes sense when they match); the
+    ``model`` section contributes the architecture, width multiplier and
+    seed.  ``budgets.memory_mb`` is the training budget, ``budgets.
+    epochs`` the simulated epochs, and the ``neuroflux`` section's
+    ``rho`` / ``batch_limit`` / ``use_cache`` / ``adaptive_batch``
+    switches govern the NeuroFlux arm.
+    """
+
+    def prepare(self, spec: JobSpec) -> JobContext:
+        from repro.data.registry import dataset_spec
+        from repro.models.zoo import build_model
+
+        context = JobContext(spec=spec, backend=self.name)
+        d = spec.data
+        data = dataset_spec(
+            d.dataset,
+            scale=d.scale,
+            image_hw=tuple(d.image_hw),
+            num_classes=d.num_classes,
+            noise_std=d.noise_std,
+            max_shift=d.max_shift,
+            seed=d.seed,
+        )
+        m = spec.model
+        context.system = build_model(
+            m.name,
+            num_classes=data.num_classes,
+            input_hw=data.image_hw,
+            width_multiplier=m.width_multiplier,
+            seed=m.seed,
+            fused=m.fused,
+        )
+        context.extras["data_spec"] = data
+        return context
+
+    def execute(self, context: JobContext, callbacks):
+        from repro.evalsim.report import run_evalsim
+        from repro.hw.platforms import get_platform
+
+        spec: JobSpec = context.spec
+        return run_evalsim(
+            context.system,
+            context.extras["data_spec"],
+            get_platform(spec.platform),
+            epochs=spec.budgets.epochs,
+            memory_budget=spec.budgets.memory_bytes,
+            config=spec.neuroflux,
+        )
+
+
+# --------------------------------------------------------------------- #
 # federated backends                                                    #
 # --------------------------------------------------------------------- #
 class _FederatedBackend(Backend):

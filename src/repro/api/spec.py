@@ -35,6 +35,7 @@ defaulting the workload sections it needs.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import json
 from dataclasses import dataclass, field, fields
@@ -78,6 +79,11 @@ BACKEND_SECTION_RULES: dict[str, dict] = {
         "defaults": ("serving", "fleet"),
     },
     "multiprocess": {
+        "needs_cluster": False,
+        "forbids": ("cluster", "runtime", "federated", "serving", "fleet"),
+        "defaults": (),
+    },
+    "evalsim": {
         "needs_cluster": False,
         "forbids": ("cluster", "runtime", "federated", "serving", "fleet"),
         "defaults": (),
@@ -670,6 +676,25 @@ class JobSpec:
         """
         return JobSpec.from_dict(self.to_dict(), backend=backend)
 
+    def overlay(self, overrides: dict, retarget: bool = False) -> "JobSpec":
+        """A fresh spec with dotted-path ``overrides`` applied.
+
+        ``overrides`` maps dotted section paths to values, e.g.
+        ``{"budgets.memory_mb": 200, "neuroflux.rho": 0.3,
+        "backend": "pipelined"}``.  The result shares *nothing* with this
+        spec: the base is deep-copied before patching, so overlaying a
+        value onto a section that was defaulted-in (or mutating the
+        returned spec) can never leak back into the base -- the property
+        the sweep engine's expansion relies on.
+
+        With ``retarget=True`` an overridden ``backend`` behaves like
+        :meth:`with_backend` / the CLI's ``--backend``: sections the new
+        backend forbids are dropped instead of raising.
+        """
+        payload = overlay_spec_dict(self.to_dict(), overrides)
+        backend = payload.get("backend", "sequential") if retarget else None
+        return JobSpec.from_dict(payload, backend=backend)
+
 
 _SECTION_TYPES: dict[str, type] = {
     "model": ModelSection,
@@ -689,6 +714,48 @@ _SECTION_TYPES: dict[str, type] = {
 # --------------------------------------------------------------------- #
 # helpers                                                               #
 # --------------------------------------------------------------------- #
+def overlay_spec_dict(payload: dict, overrides: dict) -> dict:
+    """A deep copy of a JobSpec dict with dotted-path overrides applied.
+
+    Each override key is a dotted path into the spec dict
+    (``"budgets.memory_mb"``, ``"neuroflux.rho"``, top-level scalars like
+    ``"backend"``).  Intermediate mappings are created when absent, so a
+    grid can set ``"serving.arrival_rate"`` on a base that omits the
+    ``serving`` section entirely.  The input is never mutated and the
+    output shares no structure with it (override values are deep-copied
+    too), so repeated overlays of one base can never alias each other.
+
+    Raises :class:`SpecError` when a path descends into a non-mapping
+    (e.g. ``"model.name.x"``).
+    """
+    if not isinstance(payload, dict):
+        raise SpecError(
+            "jobspec", f"spec must be a mapping, got {type(payload).__name__}"
+        )
+    out = copy.deepcopy(payload)
+    for path, value in overrides.items():
+        if not isinstance(path, str) or not path:
+            raise SpecError(
+                "jobspec", f"override path must be a non-empty string, got {path!r}"
+            )
+        parts = path.split(".")
+        node = out
+        for depth, part in enumerate(parts[:-1]):
+            child = node.get(part)
+            if child is None:
+                child = {}
+                node[part] = child
+            elif not isinstance(child, dict):
+                raise SpecError(
+                    "jobspec",
+                    f"override path {path!r} descends into "
+                    f"{'.'.join(parts[: depth + 1])!r}, which is not a section",
+                )
+            node = child
+        node[parts[-1]] = copy.deepcopy(value)
+    return out
+
+
 def _section_from_dict(section_cls: type, payload, section: str):
     """Parse one section dict, rejecting unknown keys."""
     if section_cls is NeuroFluxConfig:
@@ -712,6 +779,11 @@ def _section_from_dict(section_cls: type, payload, section: str):
         )
     kwargs = {}
     for key, value in payload.items():
+        if isinstance(value, (dict, list)):
+            # Never alias the caller's nested structure: two specs built
+            # from one payload (or one spec and the payload itself) must
+            # not share e.g. a runtime/fleet ``events`` dict.
+            value = copy.deepcopy(value)
         if key in _TUPLE_FIELDS and isinstance(value, list):
             value = tuple(value)
         if section == "cluster" and key == "devices":

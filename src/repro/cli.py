@@ -15,6 +15,8 @@ Usage::
     python -m repro.cli parallel --schedule pipelined --epochs 3
     python -m repro.cli parallel --events faults.json --report-json run.json
     python -m repro.cli bench --quick
+    python -m repro.cli sweep run examples/specs/sweep_budget.json --workers 4
+    python -m repro.cli sweep results budget_sweep.sweep --select report.wall_clock_s
 
 Each command prints the reproduced figure/table as a plain-text table.
 ``run`` is the unified entry point: it executes a declarative
@@ -29,7 +31,10 @@ the equivalent JobSpec from their flags and drive the same
 :func:`repro.api.run` path (a once-per-process :class:`DeprecationWarning`
 points at ``run``).  ``bench`` times the kernel substrate, seed path vs
 fused+workspace path (see :mod:`repro.perf.bench`), and records the
-trajectory in ``BENCH_kernels.json``.
+trajectory in ``BENCH_kernels.json``.  ``sweep`` runs a declarative
+experiment grid (one base JobSpec + axes over dotted section paths)
+through a resumable process-pool driver and queries the resulting store
+(see :mod:`repro.sweep`).
 """
 
 from __future__ import annotations
@@ -438,6 +443,178 @@ def _analyze_run(argv: list[str]) -> int:
     return 1 if failed else 0
 
 
+# --------------------------------------------------------------------- #
+# sweep: declarative experiment grids over JobSpecs                      #
+# --------------------------------------------------------------------- #
+def build_sweep_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli sweep run",
+        description=(
+            "Expand a sweep spec (base JobSpec + grid/zip/points axes) and "
+            "execute every run into an append-only results store.  "
+            "Re-running against the same store resumes: journaled runs are "
+            "skipped, so a killed sweep picks up where it died."
+        ),
+    )
+    parser.add_argument("sweep", help="sweep spec JSON file")
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="results store directory (default: ./<sweep name>.sweep)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size; results are byte-identical for any value",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any existing store at --store instead of resuming",
+    )
+    parser.add_argument(
+        "--summary-json",
+        default=None,
+        help="write the aggregated sweep report (unified Report JSON) here",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    return parser
+
+
+def build_sweep_results_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli sweep results",
+        description=(
+            "Query a sweep results store: flatten each journaled run into a "
+            "row and project/filter by dotted paths (run.*, overrides.*, "
+            "spec.*, report.* -- e.g. report.metrics.wall_clock_seconds.value)."
+        ),
+    )
+    parser.add_argument("store", help="results store directory")
+    parser.add_argument(
+        "--select",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="columns as dotted paths (default: run.index run.run_id run.status)",
+    )
+    parser.add_argument(
+        "--where",
+        nargs="*",
+        default=None,
+        metavar="EXPR",
+        help="filters like run.status==done or overrides.budgets.memory_mb>=2",
+    )
+    parser.add_argument("--json", default=None, help="write selected rows as JSON")
+    parser.add_argument("--csv", default=None, help="write selected rows as CSV")
+    parser.add_argument(
+        "--summary-json",
+        default=None,
+        help="write the aggregated sweep report (unified Report JSON) here",
+    )
+    return parser
+
+
+def _sweep_main(argv: list[str]) -> int:
+    from repro.errors import ReproError
+
+    if not argv or argv[0] in ("-h", "--help"):
+        print(
+            "usage: repro.cli sweep {run,results,expand} ...\n"
+            "  run      execute a sweep spec into a results store (run --help)\n"
+            "  results  query a results store (results --help)\n"
+            "  expand   print a sweep's planned runs without executing",
+            file=sys.stderr,
+        )
+        return 0 if argv else 2
+    try:
+        if argv[0] == "run":
+            return _sweep_run(argv[1:])
+        if argv[0] == "results":
+            return _sweep_results(argv[1:])
+        if argv[0] == "expand":
+            return _sweep_expand(argv[1:])
+    except ReproError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    print(f"sweep: unknown subcommand {argv[0]!r}", file=sys.stderr)
+    return 2
+
+
+def _sweep_run(argv: list[str]) -> int:
+    from repro.sweep import ResultsStore, SweepReport, SweepSpec, run_sweep
+
+    args = build_sweep_run_parser().parse_args(argv)
+    sweep = SweepSpec.from_json_file(args.sweep)
+    store_path = args.store or f"{sweep.name}.sweep"
+    echo = (lambda _msg: None) if args.quiet else (
+        lambda msg: print(f"sweep: {msg}", file=sys.stderr)
+    )
+    summary = run_sweep(
+        sweep, store_path, workers=args.workers, fresh=args.fresh, echo=echo
+    )
+    print(
+        f"sweep {summary.name!r}: {summary.executed} executed, "
+        f"{summary.skipped} resumed, {summary.failed} failed "
+        f"({summary.total} total) -> {summary.store_path}"
+    )
+    if args.summary_json:
+        report = SweepReport.from_store(ResultsStore.open(store_path))
+        _write_report_json(args.summary_json, report)
+    return 1 if summary.failed else 0
+
+
+def _sweep_results(argv: list[str]) -> int:
+    import json
+
+    from repro.sweep import (
+        ResultsStore,
+        SweepReport,
+        parse_filters,
+        render_table,
+        select_rows,
+        store_rows,
+        to_csv,
+    )
+
+    args = build_sweep_results_parser().parse_args(argv)
+    store = ResultsStore.open(args.store)
+    rows = store_rows(store)
+    flat = select_rows(
+        rows, select=args.select, where=parse_filters(args.where or [])
+    )
+    print(render_table(flat))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(flat, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.csv:
+        to_csv(flat, args.csv)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.summary_json:
+        _write_report_json(args.summary_json, SweepReport.from_store(store))
+    return 0
+
+
+def _sweep_expand(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli sweep expand",
+        description="Print a sweep's planned runs without executing anything.",
+    )
+    parser.add_argument("sweep", help="sweep spec JSON file")
+    args = parser.parse_args(argv)
+    from repro.sweep import SweepSpec
+
+    sweep = SweepSpec.from_json_file(args.sweep)
+    for run in sweep.expand():
+        print(f"{run.run_id}  {run.overrides}")
+    return 0
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli serve",
@@ -747,6 +924,8 @@ def main(argv: list[str] | None = None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "analyze":
         return _analyze_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(k) for k in EXPERIMENTS)
@@ -757,6 +936,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'parallel'.ljust(width)}  multi-device pipeline training (parallel --help)")
         print(f"{'bench'.ljust(width)}  kernel wall-clock benchmarks (bench --help)")
         print(f"{'analyze'.ljust(width)}  trace/report analytics and SLO gates (analyze --help)")
+        print(f"{'sweep'.ljust(width)}  declarative experiment grids over JobSpecs (sweep --help)")
         return 0
     if args.experiment == "all":
         names = list(EXPERIMENTS)

@@ -32,6 +32,15 @@ class SpecError(ConfigError):
         super().__init__(f"[{section}] {message}")
 
 
+class SweepError(ConfigError):
+    """A :class:`repro.sweep.SweepSpec` or results store was invalid.
+
+    Raised for malformed sweep specs (bad axes, conflicting paths,
+    invalid expanded JobSpecs) and for results-store misuse (resuming a
+    store that was created by a different sweep spec).
+    """
+
+
 class MemoryBudgetExceeded(ReproError):
     """A simulated GPU allocation would exceed the configured budget.
 

@@ -1,0 +1,279 @@
+"""The ``evalsim`` backend's engine and unified report.
+
+One :func:`run_evalsim` call replays the Figure 11 comparison for a
+single (model, dataset, platform, budget) cell: BP, classic LL and
+NeuroFlux are simulated closed-form at paper scale (the exact
+:mod:`repro.evalsim.training_time` formulas the legacy
+``experiments/fig11`` and rho-ablation scripts call), and the NeuroFlux
+block structure is re-derived for reporting.  Wrapped as the ``evalsim``
+:mod:`repro.api` backend, this makes every paper grid -- fig11
+time-vs-budget, the rho/mechanism ablations -- expressible as one
+``repro sweep`` spec instead of a bespoke driver script.
+
+A method that cannot fit a single training step under the budget is the
+paper's "no data point": ``feasible=False``, hours ``None`` -- never an
+exception, so a budget sweep records the infeasible cells instead of
+failing on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.report import common_json_fields, json_num
+from repro.obs.trace import active_tracer
+
+
+@dataclass(frozen=True)
+class MethodOutcome:
+    """One training method's simulated cost under the budget."""
+
+    method: str
+    feasible: bool
+    hours: float | None = None
+    batch_size: int | None = None
+    peak_memory_bytes: int = 0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "feasible": self.feasible,
+            "hours": json_num(self.hours) if self.hours is not None else None,
+            "batch_size": self.batch_size,
+            "peak_memory_bytes": int(self.peak_memory_bytes),
+        }
+
+
+def _outcome(method: str, run) -> MethodOutcome:
+    if run is None:
+        return MethodOutcome(method=method, feasible=False)
+    return MethodOutcome(
+        method=method,
+        feasible=True,
+        hours=run.time_s / 3600.0,
+        batch_size=run.batch_size,
+        peak_memory_bytes=run.peak_memory_bytes,
+    )
+
+
+@dataclass
+class EvalSimReport:
+    """Unified report of one closed-form training-time simulation cell."""
+
+    model_name: str
+    dataset: str
+    platform: str
+    budget_mb: float
+    epochs: int
+    rho: float
+    bp: MethodOutcome
+    ll: MethodOutcome
+    nf: MethodOutcome
+    #: NeuroFlux block structure under this budget (None when even the
+    #: partition is infeasible).
+    n_blocks: int | None = None
+    min_batch: int | None = None
+    max_batch: int | None = None
+    #: The NeuroFlux run's ledger (empty when NF is infeasible).
+    _nf_ledger: dict | None = None
+
+    # -- Report protocol ---------------------------------------------------
+    @property
+    def wall_clock_s(self) -> float:
+        """Simulated end-to-end seconds of the *NeuroFlux* run (NaN when
+        even NeuroFlux cannot train under the budget)."""
+        if self.nf.hours is None:
+            return float("nan")
+        return self.nf.hours * 3600.0
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return int(self.nf.peak_memory_bytes)
+
+    def ledger_summary(self) -> dict[str, float]:
+        if not self._nf_ledger:
+            return {"total": 0.0}
+        return dict(self._nf_ledger)
+
+    @property
+    def speedup_vs_bp(self) -> float:
+        if self.bp.hours is None or self.nf.hours is None:
+            return float("nan")
+        return self.bp.hours / self.nf.hours
+
+    @property
+    def speedup_vs_ll(self) -> float:
+        if self.ll.hours is None or self.nf.hours is None:
+            return float("nan")
+        return self.ll.hours / self.nf.hours
+
+    def metrics_registry(self):
+        from repro.obs.metrics import MetricsRegistry, report_base_metrics
+
+        reg = report_base_metrics(self, MetricsRegistry())
+        for outcome in (self.bp, self.ll, self.nf):
+            hours = outcome.hours if outcome.hours is not None else float("nan")
+            reg.gauge("evalsim_train_hours", method=outcome.method).set(hours)
+            reg.gauge("evalsim_feasible", method=outcome.method).set(
+                1.0 if outcome.feasible else 0.0
+            )
+        reg.gauge("evalsim_speedup_vs_bp").set(self.speedup_vs_bp)
+        reg.gauge("evalsim_speedup_vs_ll").set(self.speedup_vs_ll)
+        if self.n_blocks is not None:
+            reg.gauge("evalsim_n_blocks").set(float(self.n_blocks))
+        return reg
+
+    def to_json_dict(self) -> dict:
+        def hours(outcome):
+            return json_num(outcome.hours) if outcome.hours is not None else None
+
+        return {
+            **common_json_fields(self, kind="evalsim"),
+            "evalsim": {
+                "model": self.model_name,
+                "dataset": self.dataset,
+                "platform": self.platform,
+                "budget_mb": json_num(self.budget_mb),
+                "epochs": self.epochs,
+                "rho": json_num(self.rho),
+                "bp": self.bp.to_json_dict(),
+                "ll": self.ll.to_json_dict(),
+                "nf": self.nf.to_json_dict(),
+                "bp_hours": hours(self.bp),
+                "ll_hours": hours(self.ll),
+                "nf_hours": hours(self.nf),
+                "speedup_vs_bp": json_num(self.speedup_vs_bp),
+                "speedup_vs_ll": json_num(self.speedup_vs_ll),
+                "n_blocks": self.n_blocks,
+                "min_batch": self.min_batch,
+                "max_batch": self.max_batch,
+            },
+        }
+
+    def summary(self) -> str:
+        def fmt(outcome):
+            if not outcome.feasible:
+                return "OOM"
+            return f"{outcome.hours:.2f} h (b{outcome.batch_size})"
+
+        lines = [
+            f"evalsim: {self.model_name} on {self.dataset} "
+            f"@ {self.budget_mb:g} MB, {self.epochs} epochs "
+            f"({self.platform}, simulated)",
+            f"  BP        {fmt(self.bp)}",
+            f"  classicLL {fmt(self.ll)}",
+            f"  NeuroFlux {fmt(self.nf)}",
+        ]
+        if self.nf.feasible and self.bp.feasible:
+            lines.append(f"  speedup vs BP: {self.speedup_vs_bp:.2f}x")
+        if self.nf.feasible and self.ll.feasible:
+            lines.append(f"  speedup vs LL: {self.speedup_vs_ll:.2f}x")
+        if self.n_blocks is not None:
+            lines.append(
+                f"  blocks: {self.n_blocks} "
+                f"(batch {self.min_batch}..{self.max_batch})"
+            )
+        return "\n".join(lines)
+
+
+def run_evalsim(model, data, platform, epochs: int, memory_budget: int, config):
+    """Simulate BP / classic LL / NeuroFlux for one grid cell.
+
+    ``model`` is a built ConvNet, ``data`` an (unmaterialized)
+    :class:`~repro.data.datasets.DatasetSpec` at paper scale, ``config``
+    a :class:`~repro.core.config.NeuroFluxConfig`.  BP and classic LL
+    use their trainers' default batch limit (as the legacy fig11 script
+    does); the config's ``batch_limit``/``rho``/cache/adaptive-batch
+    switches govern only the NeuroFlux arm, mirroring the real system.
+    """
+    from repro.core.auxiliary import build_aux_heads
+    from repro.core.partitioner import partition
+    from repro.core.profiler import MemoryProfiler
+    from repro.errors import MemoryBudgetExceeded, PartitionError
+    from repro.evalsim.training_time import (
+        simulate_bp,
+        simulate_classic_ll,
+        simulate_neuroflux,
+        try_simulate,
+    )
+
+    bp = try_simulate(
+        simulate_bp,
+        model,
+        data,
+        platform,
+        epochs,
+        memory_budget=memory_budget,
+        backward_multiplier=config.backward_multiplier,
+    )
+    ll = try_simulate(
+        simulate_classic_ll,
+        model,
+        data,
+        platform,
+        epochs,
+        memory_budget=memory_budget,
+        backward_multiplier=config.backward_multiplier,
+        seed=config.seed,
+    )
+    nf = try_simulate(
+        simulate_neuroflux,
+        model,
+        data,
+        platform,
+        epochs,
+        memory_budget=memory_budget,
+        batch_limit=config.batch_limit,
+        rho=config.rho,
+        backward_multiplier=config.backward_multiplier,
+        use_cache=config.use_cache,
+        adaptive_batch=config.adaptive_batch,
+        seed=config.seed,
+    )
+
+    tracer = active_tracer()
+    if tracer is not None:
+        # One track per simulated method on the simulated timeline:
+        # feasible arms occupy [0, time_s), infeasible arms are the
+        # paper's "no data point" marker.
+        for method, sim in (("bp", bp), ("classic-ll", ll), ("neuroflux", nf)):
+            track = f"evalsim:{method}"
+            if sim is None:
+                tracer.instant("infeasible", "evalsim", track, 0.0)
+            else:
+                tracer.add_span(
+                    "simulated-train", "evalsim", track, 0.0, sim.time_s,
+                    attrs={"batch_size": sim.batch_size},
+                )
+
+    n_blocks = min_batch = max_batch = None
+    try:
+        heads = build_aux_heads(model, rule="aan", seed=config.seed)
+        profile = MemoryProfiler(
+            model.local_layers(),
+            list(heads),
+            backward_multiplier=config.backward_multiplier,
+        ).profile()
+        blocks = partition(
+            profile.models, memory_budget, config.batch_limit, rho=config.rho
+        )
+        sizes = [b.batch_size for b in blocks]
+        n_blocks, min_batch, max_batch = len(blocks), min(sizes), max(sizes)
+    except (MemoryBudgetExceeded, PartitionError):
+        pass
+
+    return EvalSimReport(
+        model_name=model.name,
+        dataset=data.name,
+        platform=platform.name,
+        budget_mb=memory_budget / 2**20,
+        epochs=epochs,
+        rho=config.rho,
+        bp=_outcome("bp", bp),
+        ll=_outcome("classic-ll", ll),
+        nf=_outcome("neuroflux", nf),
+        n_blocks=n_blocks,
+        min_batch=min_batch,
+        max_batch=max_batch,
+        _nf_ledger=nf.ledger.as_dict() if nf is not None else None,
+    )

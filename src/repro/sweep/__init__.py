@@ -1,0 +1,57 @@
+"""repro.sweep: declarative experiment sweeps over JobSpecs.
+
+One :class:`SweepSpec` (a base :class:`~repro.api.JobSpec` plus
+``grid`` / ``zip`` / ``points`` axes over dotted section paths) expands
+into concrete jobs; :func:`run_sweep` executes them -- optionally in a
+forked process pool -- journaling every completed run's unified report
+into an append-only :class:`ResultsStore` that survives crashes and
+resumes without re-running finished cells.  The query layer
+(:func:`select_rows`, :class:`SweepReport`) flattens the store into
+rows and into a single unified Report the existing ``repro analyze``
+tooling can gate.
+
+Quick start::
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    sweep = SweepSpec.from_json_file("examples/specs/sweep_budget.json")
+    summary = run_sweep(sweep, "budget.sweep", workers=4)
+"""
+
+from __future__ import annotations
+
+from repro.sweep.driver import SweepSummary, run_sweep
+from repro.sweep.query import (
+    Filter,
+    SweepReport,
+    parse_filters,
+    render_table,
+    resolve_path,
+    row_from_record,
+    select_rows,
+    store_rows,
+    to_csv,
+)
+from repro.sweep.spec import SEED_MODES, SweepRun, SweepSpec, derive_run_seed
+from repro.sweep.store import STORE_SCHEMA, ResultsStore, make_record
+
+__all__ = [
+    "Filter",
+    "ResultsStore",
+    "SEED_MODES",
+    "STORE_SCHEMA",
+    "SweepReport",
+    "SweepRun",
+    "SweepSpec",
+    "SweepSummary",
+    "derive_run_seed",
+    "make_record",
+    "parse_filters",
+    "render_table",
+    "resolve_path",
+    "row_from_record",
+    "run_sweep",
+    "select_rows",
+    "store_rows",
+    "to_csv",
+]

@@ -1,0 +1,337 @@
+"""SweepSpec: one base JobSpec plus a declarative grid over its sections.
+
+A sweep spec is JSON of the shape::
+
+    {
+      "name": "budget_sweep",
+      "base": { ...any JobSpec dict... },      # or "base_file": "job.json"
+      "grid": {                                # cartesian product
+        "budgets.memory_mb": [100, 200, 300],
+        "backend": ["sequential", "pipelined"]
+      },
+      "zip": {                                 # one axis of parallel lists
+        "data.dataset": ["cifar10", "cifar100"],
+        "model.num_classes": [10, 100]
+      },
+      "points": [                              # one axis of explicit points
+        {"neuroflux.use_cache": false},
+        {"neuroflux.adaptive_batch": false}
+      ],
+      "seed_mode": "derive"                    # or "fixed"
+    }
+
+Axis keys are dotted section paths into the JobSpec dict (see
+:func:`repro.api.spec.overlay_spec_dict`); ``backend`` sweeps the
+backend itself, with ``with_backend``-style re-targeting so one base can
+drive training *and* serving points.  Expansion is the cartesian product
+of every ``grid`` axis (declaration order, last axis fastest), the ``zip``
+bundle (its lists advance together) and the ``points`` list -- each
+product cell becomes one fully validated, normalized JobSpec.
+
+Every expanded run is deterministic in the *grid index* alone:
+
+* ``seed_mode="derive"`` (the default) gives each run a distinct
+  ``neuroflux.seed`` computed by :func:`derive_run_seed` from the base
+  seed and the run's flat index -- never from worker count or completion
+  order, so a 1-worker and a 16-worker sweep produce byte-identical
+  results;
+* ``seed_mode="fixed"`` leaves every seed exactly as the base/overrides
+  say (what the paper-figure sweeps use).
+
+Expanded specs share no structure with the base or each other (the
+overlay deep-copies), so a backend mutating its spec's defaulted-in
+sections can never corrupt a sibling run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.api.spec import JobSpec, overlay_spec_dict
+from repro.errors import SpecError, SweepError
+
+#: ``seed_mode`` values.
+SEED_MODES = ("derive", "fixed")
+
+_KNOWN_KEYS = frozenset(
+    {"name", "base", "base_file", "grid", "zip", "points", "seed_mode"}
+)
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_run_seed(base_seed: int, index: int) -> int:
+    """A deterministic per-run seed from (base seed, flat grid index).
+
+    A splitmix64-style mix so neighbouring indices get unrelated seeds;
+    depends on nothing but its two arguments (not worker count, not
+    completion order), which is what makes sweep stores byte-identical
+    across ``--workers`` settings.
+    """
+    x = (
+        (int(base_seed) & _MASK64) * 0x9E3779B97F4A7C15
+        + (int(index) & _MASK64) * 0xBF58476D1CE4E5B9
+        + 0x94D049BB133111EB
+    ) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return int(x % (1 << 31))
+
+
+@dataclass(frozen=True)
+class SweepRun:
+    """One expanded grid cell: a concrete, validated JobSpec plus identity.
+
+    ``index`` is the flat position in expansion order; ``run_id`` is
+    ``{index}-{digest}`` where the digest hashes the normalized spec
+    dict, so a run's identity survives journal replays and changes when
+    (and only when) its concrete job changes.  ``overrides`` records the
+    dotted-path values this cell applied to the base (including the
+    derived seed), which is what the query layer exposes as
+    ``overrides.*`` columns.
+    """
+
+    index: int
+    run_id: str
+    overrides: dict
+    spec_dict: dict
+
+    def to_json_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "run_id": self.run_id,
+            "overrides": self.overrides,
+            "spec": self.spec_dict,
+        }
+
+
+@dataclass
+class SweepSpec:
+    """A declarative grid of JobSpecs (see module docstring)."""
+
+    name: str
+    base: dict
+    grid: dict = field(default_factory=dict)
+    zip_axes: dict = field(default_factory=dict)
+    points: list = field(default_factory=list)
+    seed_mode: str = "derive"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SweepError("a sweep needs a non-empty string name")
+        if not isinstance(self.base, dict):
+            raise SweepError(
+                f"base must be a JobSpec mapping, got {type(self.base).__name__}"
+            )
+        if self.seed_mode not in SEED_MODES:
+            raise SweepError(
+                f"unknown seed_mode {self.seed_mode!r} "
+                f"(choose from {', '.join(SEED_MODES)})"
+            )
+        if not isinstance(self.grid, dict):
+            raise SweepError("grid must be a mapping of dotted paths to lists")
+        for path, values in self.grid.items():
+            if not isinstance(values, list) or not values:
+                raise SweepError(
+                    f"grid axis {path!r} must be a non-empty list of values"
+                )
+        if not isinstance(self.zip_axes, dict):
+            raise SweepError("zip must be a mapping of dotted paths to lists")
+        lengths = set()
+        for path, values in self.zip_axes.items():
+            if not isinstance(values, list) or not values:
+                raise SweepError(
+                    f"zip axis {path!r} must be a non-empty list of values"
+                )
+            lengths.add(len(values))
+        if len(lengths) > 1:
+            raise SweepError(
+                f"zip axes must all have the same length, got lengths "
+                f"{sorted(lengths)}"
+            )
+        if not isinstance(self.points, list):
+            raise SweepError("points must be a list of override mappings")
+        for i, point in enumerate(self.points):
+            if not isinstance(point, dict):
+                raise SweepError(f"points[{i}] must be an override mapping")
+        # One axis family per path: a path swept by grid must not also be
+        # zipped or pointed at -- silent last-writer-wins would make the
+        # manifest lie about what each run varied.
+        seen: dict[str, str] = {k: "grid" for k in self.grid}
+        for k in self.zip_axes:
+            if k in seen:
+                raise SweepError(f"path {k!r} appears in both grid and zip")
+            seen[k] = "zip"
+        for i, point in enumerate(self.points):
+            for k in point:
+                if k in seen:
+                    raise SweepError(
+                        f"path {k!r} appears in both {seen[k]} and points[{i}]"
+                    )
+        if not self.grid and not self.zip_axes and not self.points:
+            raise SweepError(
+                "a sweep needs at least one axis (grid, zip, or points)"
+            )
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "seed_mode": self.seed_mode, "base": self.base}
+        if self.grid:
+            out["grid"] = self.grid
+        if self.zip_axes:
+            out["zip"] = self.zip_axes
+        if self.points:
+            out["points"] = self.points
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict, base_dir: str = ".") -> "SweepSpec":
+        """Build a validated sweep spec from a (JSON-shaped) dict.
+
+        ``base_file`` paths resolve relative to ``base_dir`` (the sweep
+        file's directory when loaded via :meth:`from_json_file`).
+        Unknown keys are rejected -- a typoed axis family must fail
+        loudly, not silently sweep nothing.
+        """
+        if not isinstance(payload, dict):
+            raise SweepError(
+                f"sweep spec must be a mapping, got {type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - _KNOWN_KEYS)
+        if unknown:
+            raise SweepError(
+                f"unknown sweep key(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(_KNOWN_KEYS))}"
+            )
+        base = payload.get("base")
+        base_file = payload.get("base_file")
+        if (base is None) == (base_file is None):
+            raise SweepError("exactly one of base / base_file is required")
+        if base_file is not None:
+            path = os.path.join(base_dir, base_file)
+            try:
+                with open(path) as fh:
+                    base = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise SweepError(f"malformed JSON in base_file {path}: {exc}") from exc
+            except OSError as exc:
+                raise SweepError(f"cannot read base_file {path}: {exc}") from exc
+        return cls(
+            name=payload.get("name", "sweep"),
+            base=base,
+            grid=payload.get("grid", {}) or {},
+            zip_axes=payload.get("zip", {}) or {},
+            points=payload.get("points", []) or [],
+            seed_mode=payload.get("seed_mode", "derive"),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "SweepSpec":
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise SweepError(f"malformed JSON in {path}: {exc}") from exc
+        except OSError as exc:
+            raise SweepError(f"cannot read sweep file {path}: {exc}") from exc
+        return cls.from_dict(payload, base_dir=os.path.dirname(path) or ".")
+
+    # -- expansion ---------------------------------------------------------
+    @property
+    def n_runs(self) -> int:
+        n = 1
+        for values in self.grid.values():
+            n *= len(values)
+        if self.zip_axes:
+            n *= len(next(iter(self.zip_axes.values())))
+        if self.points:
+            n *= len(self.points)
+        return n
+
+    def axis_paths(self) -> list[str]:
+        """Every dotted path any axis touches (manifest/query metadata)."""
+        paths = list(self.grid) + list(self.zip_axes)
+        for point in self.points:
+            for k in point:
+                if k not in paths:
+                    paths.append(k)
+        return paths
+
+    def _axes(self) -> list[list[dict]]:
+        """Each axis as a list of override fragments (cell dicts)."""
+        axes: list[list[dict]] = []
+        for path, values in self.grid.items():
+            axes.append([{path: v} for v in values])
+        if self.zip_axes:
+            keys = list(self.zip_axes)
+            length = len(self.zip_axes[keys[0]])
+            axes.append(
+                [{k: self.zip_axes[k][i] for k in keys} for i in range(length)]
+            )
+        if self.points:
+            axes.append([dict(point) for point in self.points])
+        return axes
+
+    def expand(self) -> list[SweepRun]:
+        """The full list of concrete runs, in deterministic grid order.
+
+        Every run's JobSpec is validated here -- an invalid grid cell
+        fails the whole sweep *before* any training is paid for, naming
+        the cell.  The returned specs are normalized (``JobSpec.
+        from_dict(...).to_dict()``), so the manifest records exactly what
+        will execute, defaulted sections included.
+        """
+        cells: list[dict] = [{}]
+        for axis in self._axes():
+            cells = [
+                {**cell, **fragment} for cell in cells for fragment in axis
+            ]
+        base_seed = self._base_seed()
+        runs: list[SweepRun] = []
+        for index, overrides in enumerate(cells):
+            if self.seed_mode == "derive" and "neuroflux.seed" not in overrides:
+                overrides = {
+                    **overrides,
+                    "neuroflux.seed": derive_run_seed(base_seed, index),
+                }
+            payload = overlay_spec_dict(self.base, overrides)
+            try:
+                spec = JobSpec.from_dict(
+                    payload, backend=payload.get("backend", "sequential")
+                )
+            except SpecError as exc:
+                raise SweepError(
+                    f"run #{index} of sweep {self.name!r} is invalid "
+                    f"(overrides {overrides!r}): {exc}"
+                ) from exc
+            spec_dict = spec.to_dict()
+            digest = hashlib.sha256(
+                json.dumps(spec_dict, sort_keys=True, separators=(",", ":")).encode()
+            ).hexdigest()[:10]
+            runs.append(
+                SweepRun(
+                    index=index,
+                    run_id=f"{index:04d}-{digest}",
+                    overrides=overrides,
+                    spec_dict=spec_dict,
+                )
+            )
+        return runs
+
+    def _base_seed(self) -> int:
+        neuroflux = self.base.get("neuroflux")
+        if isinstance(neuroflux, dict):
+            seed = neuroflux.get("seed", 0)
+            if isinstance(seed, int):
+                return seed
+        return 0

@@ -1,0 +1,219 @@
+"""Append-only results store for sweep runs.
+
+A store is a directory with two files:
+
+``MANIFEST.json``
+    The expanded sweep, written once at creation: sweep name, seed mode,
+    axis paths, and every planned run (index, run_id, overrides, and the
+    fully normalized JobSpec dict).  Human-readable (indented, sorted
+    keys) -- the manifest *is* the experiment's provenance record.
+
+``journal.jsonl``
+    One JSON line per *completed* run (status ``done`` with the full
+    unified report dict, or ``failed`` with the error string), appended
+    and flushed as runs finish.  Compact separators, sorted keys, no
+    timestamps -- a record's bytes depend only on the run itself, which
+    is what makes whole stores byte-comparable across worker counts.
+
+Crash safety is the journal's append-only discipline: a run either has a
+complete newline-terminated record or it does not exist.  On open, a
+torn final record (the process died mid-write) is truncated away and the
+run simply re-executes on resume.  Resuming a store against a *different*
+sweep spec is refused -- mixed results would be unattributable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import SweepError
+
+from repro.sweep.spec import SweepSpec
+
+#: Journal/manifest record schema version.
+STORE_SCHEMA = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+JOURNAL_NAME = "journal.jsonl"
+
+_RECORD_KEYS = frozenset({"schema", "run_id", "index", "overrides", "status", "report", "error"})
+_STATUSES = ("done", "failed")
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def record_line(record: dict) -> str:
+    """The exact bytes (sans trailing newline) a journal record serializes to."""
+    return _canonical(record)
+
+
+def make_record(
+    run, status: str, report: dict | None = None, error: str | None = None
+) -> dict:
+    """Build a journal record for one finished :class:`SweepRun`."""
+    if status not in _STATUSES:
+        raise SweepError(f"record status must be one of {_STATUSES}, got {status!r}")
+    record = {
+        "schema": STORE_SCHEMA,
+        "run_id": run.run_id,
+        "index": run.index,
+        "overrides": run.overrides,
+        "status": status,
+        "report": report,
+    }
+    if error is not None:
+        record["error"] = error
+    return record
+
+
+class ResultsStore:
+    """One sweep's on-disk results directory (see module docstring)."""
+
+    def __init__(self, path: str, manifest: dict):
+        self.path = path
+        self.manifest = manifest
+
+    # -- lifecycle ---------------------------------------------------------
+    @classmethod
+    def create(cls, path: str, sweep: SweepSpec, runs=None) -> "ResultsStore":
+        """Create a fresh store (or adopt/validate an existing one).
+
+        If ``path`` already holds a store for the *same* sweep, it is
+        reopened for resume: its journal is scanned, any torn trailing
+        record is truncated away, and completed runs will be skipped.  A
+        store written by a different sweep raises :class:`SweepError`
+        rather than silently mixing experiments.
+        """
+        runs = sweep.expand() if runs is None else runs
+        manifest = {
+            "schema": STORE_SCHEMA,
+            "sweep": sweep.to_dict(),
+            "axes": sweep.axis_paths(),
+            "runs": [run.to_json_dict() for run in runs],
+        }
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            store = cls._open_existing(path)
+            if _canonical(store.manifest) != _canonical(manifest):
+                raise SweepError(
+                    f"results store {path} was created by a different sweep "
+                    f"spec; use --fresh to discard it or pick another --store"
+                )
+            store._recover_journal()
+            return store
+        os.makedirs(path, exist_ok=True)
+        with open(manifest_path, "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        # Touch the journal so an interrupted zero-run sweep still reopens.
+        open(os.path.join(path, JOURNAL_NAME), "a").close()
+        return cls(path, manifest)
+
+    @classmethod
+    def open(cls, path: str) -> "ResultsStore":
+        """Open an existing store read-only-ish (queries, resume checks)."""
+        store = cls._open_existing(path)
+        store._recover_journal()
+        return store
+
+    @classmethod
+    def _open_existing(cls, path: str) -> "ResultsStore":
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        try:
+            with open(manifest_path) as fh:
+                manifest = json.load(fh)
+        except OSError as exc:
+            raise SweepError(f"{path} is not a sweep results store: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise SweepError(
+                f"corrupt manifest in results store {path}: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or manifest.get("schema") != STORE_SCHEMA:
+            raise SweepError(
+                f"results store {path} has unsupported manifest schema "
+                f"{manifest.get('schema') if isinstance(manifest, dict) else manifest!r}"
+            )
+        return cls(path, manifest)
+
+    @staticmethod
+    def wipe(path: str) -> None:
+        """Delete a store's files (``--fresh``). Only touches store files."""
+        for name in (MANIFEST_NAME, JOURNAL_NAME):
+            try:
+                os.remove(os.path.join(path, name))
+            except FileNotFoundError:
+                pass
+
+    # -- journal -----------------------------------------------------------
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.path, JOURNAL_NAME)
+
+    def _recover_journal(self) -> None:
+        """Truncate a torn trailing record (crash mid-append).
+
+        Keeps the longest prefix of complete, parseable, newline-
+        terminated records; anything after it is a partial write from a
+        killed process and is discarded so the run re-executes.
+        """
+        path = self.journal_path
+        if not os.path.exists(path):
+            open(path, "a").close()
+            return
+        with open(path, "rb") as fh:
+            data = fh.read()
+        good_end = 0
+        start = 0
+        while start < len(data):
+            nl = data.find(b"\n", start)
+            if nl < 0:
+                break  # unterminated tail: torn
+            line = data[start : nl + 1]
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # garbage line: treat it and everything after as torn
+            if not isinstance(record, dict) or record.get("schema") != STORE_SCHEMA:
+                break
+            if record.get("status") not in _STATUSES or "run_id" not in record:
+                break
+            good_end = nl + 1
+            start = nl + 1
+        if good_end != len(data):
+            with open(path, "wb") as fh:
+                fh.write(data[:good_end])
+
+    def append(self, record: dict) -> None:
+        """Append one completed-run record, flushed to disk before return."""
+        with open(self.journal_path, "a") as fh:
+            fh.write(record_line(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def records(self) -> list[dict]:
+        """All journaled records, in journal (= grid index) order."""
+        out: list[dict] = []
+        if not os.path.exists(self.journal_path):
+            return out
+        with open(self.journal_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+    def completed_ids(self) -> set[str]:
+        """run_ids that already have a journal record (done *or* failed)."""
+        return {record["run_id"] for record in self.records()}
+
+    # -- manifest accessors ------------------------------------------------
+    @property
+    def sweep_name(self) -> str:
+        return self.manifest["sweep"]["name"]
+
+    @property
+    def planned_runs(self) -> list[dict]:
+        return self.manifest["runs"]

@@ -257,3 +257,80 @@ class TestBench:
         assert "batch" in capsys.readouterr().err
         assert main(["bench", "--quick", "--reps", "0"]) == 2
         assert "reps" in capsys.readouterr().err
+
+
+class TestSweep:
+    BASE = {
+        "backend": "sequential",
+        "model": {"name": "vgg11", "num_classes": 4, "input_hw": [16, 16],
+                  "width_multiplier": 0.125},
+        "data": {"dataset": "cifar10", "num_classes": 4,
+                 "image_hw": [16, 16], "scale": 0.002},
+        "budgets": {"memory_mb": 1, "epochs": 1},
+    }
+
+    def _sweep_file(self, tmp_path, **axes):
+        import json
+
+        axes = axes or {"grid": {"budgets.memory_mb": [2.0, 4.0]}}
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"name": "cli", "base": self.BASE, **axes}))
+        return str(path)
+
+    def test_list_mentions_sweep(self, capsys):
+        assert main(["list"]) == 0
+        assert "sweep" in capsys.readouterr().out
+
+    def test_sweep_run_results_and_summary(self, capsys, tmp_path):
+        import json
+
+        sweep_file = self._sweep_file(tmp_path)
+        store = str(tmp_path / "cli.sweep")
+        summary = str(tmp_path / "summary.json")
+        assert main(["sweep", "run", sweep_file, "--store", store,
+                     "--workers", "2", "--summary-json", summary]) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out and "0 failed" in out
+
+        assert main(["sweep", "results", store,
+                     "--select", "run.index", "report.wall_clock_s",
+                     "--where", "run.status==done"]) == 0
+        out = capsys.readouterr().out
+        assert "run.index" in out and "report.wall_clock_s" in out
+
+        doc = json.loads((tmp_path / "summary.json").read_text())
+        assert doc["kind"] == "sweep"
+        assert doc["sweep"]["runs_done"] == 2
+
+        # Resume is a no-op with exit 0.
+        assert main(["sweep", "run", sweep_file, "--store", store]) == 0
+        assert "0 executed, 2 resumed" in capsys.readouterr().out
+
+    def test_sweep_run_failed_cells_exit_1(self, capsys, tmp_path):
+        sweep_file = self._sweep_file(
+            tmp_path, grid={"budgets.memory_mb": [0.05, 2.0]}
+        )
+        store = str(tmp_path / "oom.sweep")
+        assert main(["sweep", "run", sweep_file, "--store", store,
+                     "--quiet"]) == 1
+        assert "1 failed" in capsys.readouterr().out
+
+    def test_sweep_expand(self, capsys, tmp_path):
+        sweep_file = self._sweep_file(tmp_path)
+        assert main(["sweep", "expand", sweep_file]) == 0
+        out = capsys.readouterr().out
+        assert "0000-" in out and "budgets.memory_mb" in out
+
+    def test_sweep_bad_inputs_fail_fast(self, capsys, tmp_path):
+        import json
+
+        assert main(["sweep", "nope"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+        assert main(["sweep"]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "base": self.BASE,
+                                   "grid": {"budgets.epochs": []}}))
+        assert main(["sweep", "run", str(bad)]) == 2
+        assert "non-empty list" in capsys.readouterr().err
+        assert main(["sweep", "results", str(tmp_path / "missing")]) == 2
+        assert "not a sweep results store" in capsys.readouterr().err

@@ -1,0 +1,159 @@
+"""Query layer: dotted selection, filters, exports, and the sweep report."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import (
+    Filter,
+    ResultsStore,
+    SweepReport,
+    SweepSpec,
+    parse_filters,
+    render_table,
+    resolve_path,
+    run_sweep,
+    select_rows,
+    store_rows,
+    to_csv,
+)
+
+BASE = {
+    "backend": "sequential",
+    "model": {"name": "vgg11", "num_classes": 4, "input_hw": [16, 16],
+              "width_multiplier": 0.125},
+    "data": {"dataset": "cifar10", "num_classes": 4, "image_hw": [16, 16],
+             "scale": 0.002},
+    "budgets": {"memory_mb": 1, "epochs": 1},
+}
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """One executed sweep shared by every query test (real reports)."""
+    sweep = SweepSpec.from_dict({
+        "name": "q",
+        "base": BASE,
+        # 0.05 MB cannot fit a sample -> one failed row among done rows.
+        "grid": {"budgets.memory_mb": [0.05, 2.0, 4.0]},
+    })
+    path = str(tmp_path_factory.mktemp("query") / "q.sweep")
+    run_sweep(sweep, path, workers=1)
+    return ResultsStore.open(path)
+
+
+class TestResolvePath:
+    def test_walks_nested_dicts(self):
+        row = {"spec": {"model": {"name": "vgg11"}}}
+        assert resolve_path(row, "spec.model.name") == "vgg11"
+        assert resolve_path(row, "spec.model.nope") is None
+        assert resolve_path(row, "spec.model.name.deeper") is None
+
+    def test_exact_key_with_dots_wins_before_splitting(self):
+        row = {"metrics": {"ledger_seconds_total{category=\"compute\"}":
+                           {"value": 3.0},
+                           "overrides": {"budgets.memory_mb": 2.0}}}
+        assert resolve_path(
+            row, 'metrics.ledger_seconds_total{category="compute"}.value') == 3.0
+        assert resolve_path(row, "metrics.overrides.budgets.memory_mb") == 2.0
+
+
+class TestFilters:
+    def test_parse_operators_and_json_values(self):
+        f = Filter.parse("run.status==done")
+        assert (f.path, f.op, f.value) == ("run.status", "==", "done")
+        f = Filter.parse("overrides.budgets.memory_mb>=1.5")
+        assert f.op == ">=" and f.value == 1.5
+        f = Filter.parse("spec.neuroflux.use_cache=true")
+        assert f.op == "==" and f.value is True
+        f = Filter.parse("run.status!=failed")
+        assert f.op == "!="
+
+    def test_unparseable_filter_raises(self):
+        with pytest.raises(SweepError, match="cannot parse filter"):
+            Filter.parse("just-a-path")
+
+    def test_comparisons_ignore_missing_values(self):
+        f = Filter.parse("report.wall_clock_s<10")
+        assert not f.matches({"report": None})  # failed run: no report
+
+
+class TestSelect:
+    def test_select_and_where_over_real_store(self, store):
+        rows = store_rows(store)
+        assert len(rows) == 3
+        flat = select_rows(
+            rows,
+            select=["run.index", "overrides.budgets.memory_mb",
+                    "report.wall_clock_s"],
+            where=parse_filters(["run.status==done"]),
+        )
+        assert [r["run.index"] for r in flat] == [1, 2]
+        assert all(r["report.wall_clock_s"] > 0 for r in flat)
+        # Metric snapshot keys resolve through the report namespace.
+        flat2 = select_rows(
+            rows, select=["report.metrics.wall_clock_seconds.value"],
+            where=parse_filters(["run.status==done"]),
+        )
+        assert all(v["report.metrics.wall_clock_seconds.value"] > 0
+                   for v in flat2)
+
+    def test_default_columns(self, store):
+        flat = select_rows(store_rows(store))
+        assert list(flat[0]) == ["run.index", "run.run_id", "run.status"]
+
+    def test_render_table_and_csv(self, store, tmp_path):
+        flat = select_rows(store_rows(store),
+                           select=["run.index", "run.status"])
+        text = render_table(flat)
+        assert "run.index" in text and "failed" in text
+        assert render_table([]) == "(no rows)"
+        out = tmp_path / "rows.csv"
+        to_csv(flat, str(out))
+        with open(out) as fh:
+            parsed = list(csv.reader(fh))
+        assert parsed[0] == ["run.index", "run.status"]
+        assert len(parsed) == 4
+
+
+class TestSweepReport:
+    def test_aggregates_and_schema(self, store):
+        report = SweepReport.from_store(store)
+        assert (report.total, report.done, report.failed) == (3, 2, 1)
+        doc = report.to_json_dict()
+        from repro.api import REPORT_SCHEMA_KEYS
+
+        assert REPORT_SCHEMA_KEYS <= set(doc)
+        assert doc["kind"] == "sweep"
+        assert doc["sweep"]["runs_failed"] == 1
+        assert doc["wall_clock_s"] > 0
+        assert doc["metrics"]["sweep_runs_done"]["value"] == 2.0
+        hist = doc["metrics"]["sweep_run_wall_clock_seconds"]
+        assert hist["count"] == 2
+        assert "failed" in report.summary()
+
+    def test_report_bytes_are_deterministic(self, store):
+        a = json.dumps(SweepReport.from_store(store).to_json_dict(),
+                       sort_keys=True)
+        b = json.dumps(SweepReport.from_store(store).to_json_dict(),
+                       sort_keys=True)
+        assert a == b
+
+    def test_slo_gate_consumes_the_sweep_report(self, store):
+        from repro.obs.analyze import analyze_report
+        from repro.obs.analyze.slo import SloSpec
+
+        doc = SweepReport.from_store(store).to_json_dict()
+        ok = SloSpec.from_dict({"slo": [
+            {"name": "done", "metric": "sweep.runs_done", "min": 2},
+        ]})
+        assert analyze_report(doc, source="t", slo=ok).ok
+        strict = SloSpec.from_dict({"slo": [
+            {"name": "none-failed", "metric": "sweep.runs_failed",
+             "equals": 0},
+        ]})
+        analysis = analyze_report(doc, source="t", slo=strict)
+        assert not analysis.ok
+        assert analysis.slo.violations[0]["name"] == "none-failed"

@@ -1,0 +1,224 @@
+"""SweepSpec parsing, validation, expansion, and seeding determinism."""
+
+import json
+
+import pytest
+
+from repro.api import JobSpec, overlay_spec_dict
+from repro.errors import SweepError
+from repro.sweep import SweepSpec, derive_run_seed
+
+BASE = {
+    "backend": "sequential",
+    "model": {"name": "vgg11", "num_classes": 4, "input_hw": [16, 16],
+              "width_multiplier": 0.125},
+    "data": {"dataset": "cifar10", "num_classes": 4, "image_hw": [16, 16],
+             "scale": 0.002},
+    "budgets": {"memory_mb": 1, "epochs": 1},
+    "cluster": {"devices": ["agx-orin", "agx-orin"]},
+}
+
+
+def make(**kwargs):
+    payload = {"name": "t", "base": BASE}
+    payload.update(kwargs)
+    return SweepSpec.from_dict(payload)
+
+
+class TestValidation:
+    def test_needs_an_axis(self):
+        with pytest.raises(SweepError, match="at least one axis"):
+            make()
+
+    def test_grid_axis_must_be_nonempty_list(self):
+        with pytest.raises(SweepError, match="non-empty list"):
+            make(grid={"budgets.epochs": []})
+        with pytest.raises(SweepError, match="non-empty list"):
+            make(grid={"budgets.epochs": 3})
+
+    def test_zip_axes_must_align(self):
+        with pytest.raises(SweepError, match="same length"):
+            make(zip={"data.dataset": ["cifar10", "cifar100"],
+                      "model.num_classes": [10]})
+
+    def test_duplicate_path_across_families_rejected(self):
+        with pytest.raises(SweepError, match="grid and zip"):
+            make(grid={"budgets.epochs": [1]}, zip={"budgets.epochs": [2]})
+        with pytest.raises(SweepError, match="points"):
+            make(grid={"budgets.epochs": [1]}, points=[{"budgets.epochs": 2}])
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SweepError, match="unknown sweep key"):
+            make(grid={"budgets.epochs": [1]}, gridd={"x": [1]})
+
+    def test_base_xor_base_file(self):
+        with pytest.raises(SweepError, match="exactly one"):
+            SweepSpec.from_dict({"name": "t", "grid": {"budgets.epochs": [1]}})
+
+    def test_bad_seed_mode(self):
+        with pytest.raises(SweepError, match="seed_mode"):
+            make(grid={"budgets.epochs": [1]}, seed_mode="random")
+
+    def test_invalid_cell_names_run_and_overrides(self):
+        sweep = make(grid={"budgets.memory_mb": [1.0, -1.0]})
+        with pytest.raises(SweepError, match="run #1"):
+            sweep.expand()
+
+
+class TestFiles:
+    def test_base_file_resolves_relative_to_sweep_file(self, tmp_path):
+        (tmp_path / "job.json").write_text(json.dumps(BASE))
+        sweep_file = tmp_path / "sweep.json"
+        sweep_file.write_text(json.dumps({
+            "name": "t", "base_file": "job.json",
+            "grid": {"budgets.epochs": [1, 2]},
+        }))
+        sweep = SweepSpec.from_json_file(str(sweep_file))
+        assert sweep.n_runs == 2
+        assert sweep.base["model"]["name"] == "vgg11"
+
+    def test_malformed_json_is_a_sweep_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(SweepError, match="malformed JSON"):
+            SweepSpec.from_json_file(str(bad))
+
+
+class TestExpansion:
+    def test_grid_is_cartesian_in_declaration_order(self):
+        sweep = make(grid={"budgets.memory_mb": [1.0, 2.0],
+                           "backend": ["sequential", "pipelined"]},
+                     seed_mode="fixed")
+        runs = sweep.expand()
+        assert len(runs) == sweep.n_runs == 4
+        assert [r.overrides for r in runs] == [
+            {"budgets.memory_mb": 1.0, "backend": "sequential"},
+            {"budgets.memory_mb": 1.0, "backend": "pipelined"},
+            {"budgets.memory_mb": 2.0, "backend": "sequential"},
+            {"budgets.memory_mb": 2.0, "backend": "pipelined"},
+        ]
+        assert [r.index for r in runs] == [0, 1, 2, 3]
+        # run_id embeds the index and a content digest of the spec.
+        assert runs[0].run_id.startswith("0000-")
+        assert len({r.run_id for r in runs}) == 4
+
+    def test_zip_advances_lists_together(self):
+        sweep = make(zip={"data.dataset": ["cifar10", "cifar100"],
+                          "data.num_classes": [10, 100],
+                          "model.num_classes": [10, 100]},
+                     seed_mode="fixed")
+        runs = sweep.expand()
+        assert len(runs) == 2
+        assert runs[1].spec_dict["data"]["dataset"] == "cifar100"
+        assert runs[1].spec_dict["model"]["num_classes"] == 100
+
+    def test_points_axis(self):
+        sweep = make(points=[{"neuroflux.use_cache": False},
+                             {"neuroflux.adaptive_batch": False}],
+                     seed_mode="fixed")
+        runs = sweep.expand()
+        assert runs[0].spec_dict["neuroflux"]["use_cache"] is False
+        assert runs[1].spec_dict["neuroflux"]["adaptive_batch"] is False
+
+    def test_backend_axis_retargets_sections(self):
+        # The base carries a cluster; the evalsim cell must drop it
+        # (retarget semantics: evalsim forbids hardware sections) while
+        # the pipelined cell keeps it.
+        sweep = make(grid={"backend": ["evalsim", "pipelined"]},
+                     seed_mode="fixed")
+        ev, pipe = sweep.expand()
+        assert ev.spec_dict["backend"] == "evalsim"
+        assert "cluster" not in ev.spec_dict
+        assert pipe.spec_dict["cluster"]["devices"]
+
+    def test_specs_are_normalized_with_defaults(self):
+        sweep = make(grid={"budgets.epochs": [1]}, seed_mode="fixed")
+        (run,) = sweep.expand()
+        # Defaulted-in workload sections are materialized in the manifest.
+        assert "neuroflux" in run.spec_dict
+        assert JobSpec.from_dict(run.spec_dict).budgets.epochs == 1
+
+
+class TestSeeding:
+    def test_derive_run_seed_is_pure_and_spread(self):
+        seeds = [derive_run_seed(0, i) for i in range(64)]
+        assert seeds == [derive_run_seed(0, i) for i in range(64)]
+        assert len(set(seeds)) == 64
+        assert derive_run_seed(1, 0) != derive_run_seed(0, 0)
+
+    def test_derive_mode_sets_distinct_per_run_seeds(self):
+        sweep = make(grid={"budgets.memory_mb": [1.0, 2.0, 4.0]})
+        runs = sweep.expand()
+        seeds = [r.spec_dict["neuroflux"]["seed"] for r in runs]
+        assert len(set(seeds)) == 3
+        assert all(r.overrides["neuroflux.seed"] == s
+                   for r, s in zip(runs, seeds))
+        # Re-expansion is deterministic: same ids, same seeds.
+        again = sweep.expand()
+        assert [r.run_id for r in again] == [r.run_id for r in runs]
+
+    def test_fixed_mode_leaves_seeds_alone(self):
+        sweep = make(grid={"budgets.memory_mb": [1.0, 2.0]}, seed_mode="fixed")
+        for run in sweep.expand():
+            assert run.spec_dict["neuroflux"]["seed"] == 0
+            assert "neuroflux.seed" not in run.overrides
+
+    def test_explicitly_swept_seed_wins_over_derive(self):
+        sweep = make(grid={"neuroflux.seed": [11, 22]})
+        runs = sweep.expand()
+        assert [r.spec_dict["neuroflux"]["seed"] for r in runs] == [11, 22]
+
+
+class TestOverlayAliasing:
+    """Satellite: expanded specs must never alias the base or each other."""
+
+    def test_overlay_never_mutates_the_payload(self):
+        payload = {"budgets": {"memory_mb": 1}}
+        before = json.dumps(payload, sort_keys=True)
+        out = overlay_spec_dict(payload, {"budgets.memory_mb": 9,
+                                          "neuroflux.rho": 0.5})
+        assert json.dumps(payload, sort_keys=True) == before
+        assert out["budgets"]["memory_mb"] == 9
+        assert out["neuroflux"]["rho"] == 0.5
+
+    def test_overlay_rejects_bad_paths(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError):
+            overlay_spec_dict({"budgets": {"memory_mb": 1}}, {"": 1})
+        with pytest.raises(SpecError):
+            overlay_spec_dict({"model": {"name": "vgg11"}},
+                              {"model.name.deep": 1})
+
+    def test_expanded_specs_never_alias_each_other(self):
+        sweep = make(grid={"budgets.memory_mb": [1.0, 2.0]})
+        a, b = sweep.expand()
+        a.spec_dict["model"]["name"] = "mutated"
+        a.spec_dict["cluster"]["devices"][0]["platform"] = "mutated"
+        assert b.spec_dict["model"]["name"] == "vgg11"
+        assert b.spec_dict["cluster"]["devices"][0]["platform"] == "agx-orin"
+        assert BASE["model"]["name"] == "vgg11"
+
+    def test_overlay_into_defaulted_section_leaves_base_spec_alone(self):
+        # Applying a grid value to a section the base never mentions
+        # (neuroflux is defaulted in by validation) must not write through
+        # to the shared base dict or a sibling JobSpec.
+        base_spec = JobSpec.from_dict(BASE)
+        one = base_spec.overlay({"neuroflux.rho": 0.2})
+        two = base_spec.overlay({"neuroflux.rho": 0.7})
+        assert one.neuroflux.rho == 0.2
+        assert two.neuroflux.rho == 0.7
+        assert base_spec.neuroflux.rho not in (0.2, 0.7)
+        assert one.neuroflux is not two.neuroflux
+
+    def test_jobspecs_from_same_payload_do_not_share_nested_state(self):
+        payload = dict(BASE)
+        payload["runtime"] = {"events": {"events": [
+            {"type": "slowdown", "time_s": 1e-4, "device": 1, "factor": 3.0},
+        ]}}
+        payload["backend"] = "pipelined"
+        a = JobSpec.from_dict(payload)
+        b = JobSpec.from_dict(payload)
+        a.runtime.events["events"][0]["device"] = 99
+        assert b.runtime.events["events"][0]["device"] == 1
+        assert payload["runtime"]["events"]["events"][0]["device"] == 1

@@ -1,0 +1,137 @@
+"""ResultsStore: manifest identity, journal recovery, record discipline."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import ResultsStore, SweepSpec, make_record
+
+BASE = {
+    "backend": "sequential",
+    "model": {"name": "vgg11", "num_classes": 4, "input_hw": [16, 16],
+              "width_multiplier": 0.125},
+    "data": {"dataset": "cifar10", "num_classes": 4, "image_hw": [16, 16],
+             "scale": 0.002},
+    "budgets": {"memory_mb": 1, "epochs": 1},
+}
+
+
+def make_sweep(name="t", **axes):
+    axes = axes or {"grid": {"budgets.epochs": [1, 2]}}
+    return SweepSpec.from_dict({"name": name, "base": BASE, **axes})
+
+
+def journal(store_path):
+    return os.path.join(store_path, "journal.jsonl")
+
+
+class TestLifecycle:
+    def test_create_writes_manifest_and_empty_journal(self, tmp_path):
+        path = str(tmp_path / "s.sweep")
+        sweep = make_sweep()
+        store = ResultsStore.create(path, sweep)
+        assert store.sweep_name == "t"
+        assert len(store.planned_runs) == 2
+        assert store.completed_ids() == set()
+        with open(os.path.join(path, "MANIFEST.json")) as fh:
+            manifest = json.load(fh)
+        assert manifest["axes"] == ["budgets.epochs"]
+        assert manifest["runs"][0]["spec"]["budgets"]["epochs"] == 1
+
+    def test_reopen_same_sweep_resumes(self, tmp_path):
+        path = str(tmp_path / "s.sweep")
+        sweep = make_sweep()
+        runs = sweep.expand()
+        store = ResultsStore.create(path, sweep)
+        store.append(make_record(runs[0], "done", report={"wall_clock_s": 1.0}))
+        again = ResultsStore.create(path, sweep)
+        assert again.completed_ids() == {runs[0].run_id}
+
+    def test_reopen_different_sweep_refused(self, tmp_path):
+        path = str(tmp_path / "s.sweep")
+        ResultsStore.create(path, make_sweep())
+        other = make_sweep(grid={"budgets.epochs": [3, 4]})
+        with pytest.raises(SweepError, match="different sweep"):
+            ResultsStore.create(path, other)
+
+    def test_open_missing_store_is_an_error(self, tmp_path):
+        with pytest.raises(SweepError, match="not a sweep results store"):
+            ResultsStore.open(str(tmp_path / "nope"))
+
+    def test_wipe_removes_store_files(self, tmp_path):
+        path = str(tmp_path / "s.sweep")
+        ResultsStore.create(path, make_sweep())
+        ResultsStore.wipe(path)
+        assert not os.path.exists(os.path.join(path, "MANIFEST.json"))
+        # After a wipe, any sweep may claim the directory again.
+        other = make_sweep(grid={"budgets.epochs": [3, 4]})
+        ResultsStore.create(path, other)
+
+
+class TestJournalRecovery:
+    def test_records_roundtrip_in_order(self, tmp_path):
+        path = str(tmp_path / "s.sweep")
+        sweep = make_sweep()
+        runs = sweep.expand()
+        store = ResultsStore.create(path, sweep)
+        store.append(make_record(runs[0], "done", report={"x": 1}))
+        store.append(make_record(runs[1], "failed", error="Boom: no"))
+        records = store.records()
+        assert [r["status"] for r in records] == ["done", "failed"]
+        assert records[1]["error"] == "Boom: no"
+        assert records[0]["index"] == 0
+
+    def test_torn_trailing_record_is_discarded(self, tmp_path):
+        path = str(tmp_path / "s.sweep")
+        sweep = make_sweep()
+        runs = sweep.expand()
+        store = ResultsStore.create(path, sweep)
+        store.append(make_record(runs[0], "done", report={"x": 1}))
+        store.append(make_record(runs[1], "done", report={"x": 2}))
+        with open(journal(path), "rb") as fh:
+            data = fh.read()
+        # Kill mid-write: second record loses its tail (and newline).
+        with open(journal(path), "wb") as fh:
+            fh.write(data[: len(data) - 25])
+        reopened = ResultsStore.open(path)
+        assert reopened.completed_ids() == {runs[0].run_id}
+        # The journal itself was truncated back to the last good record.
+        with open(journal(path), "rb") as fh:
+            assert fh.read().count(b"\n") == 1
+
+    def test_garbage_line_truncates_from_there(self, tmp_path):
+        path = str(tmp_path / "s.sweep")
+        sweep = make_sweep()
+        runs = sweep.expand()
+        store = ResultsStore.create(path, sweep)
+        store.append(make_record(runs[0], "done", report={"x": 1}))
+        with open(journal(path), "a") as fh:
+            fh.write("not json at all\n")
+        assert ResultsStore.open(path).completed_ids() == {runs[0].run_id}
+
+    def test_empty_journal_is_fine(self, tmp_path):
+        path = str(tmp_path / "s.sweep")
+        ResultsStore.create(path, make_sweep())
+        os.remove(journal(path))  # e.g. deleted by hand
+        assert ResultsStore.open(path).records() == []
+
+
+class TestRecords:
+    def test_bad_status_rejected(self):
+        (run,) = make_sweep(grid={"budgets.epochs": [1]}).expand()
+        with pytest.raises(SweepError, match="status"):
+            make_record(run, "maybe")
+
+    def test_record_bytes_have_no_timestamps(self, tmp_path):
+        from repro.sweep.store import record_line
+
+        (run,) = make_sweep(grid={"budgets.epochs": [1]}).expand()
+        record = make_record(run, "done", report={"wall_clock_s": 1.5})
+        assert record_line(record) == record_line(
+            make_record(run, "done", report={"wall_clock_s": 1.5})
+        )
+        payload = json.loads(record_line(record))
+        assert set(payload) == {"schema", "run_id", "index", "overrides",
+                                "status", "report"}
